@@ -1,0 +1,31 @@
+"""Benchmark-suite configuration.
+
+Each ``test_fig*.py`` file regenerates one figure of the paper: the
+benchmark times the full driver, prints the same series the paper plots
+(run with ``-s`` to see the tables), and asserts the qualitative shape the
+paper reports.  ``benchmarks/test_micro.py`` additionally times the
+individual algorithm building blocks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.analysis import get_profile
+
+
+@pytest.fixture(scope="session")
+def bench_profile():
+    """The ``fast`` profile: the paper's shapes at benchmarkable pace."""
+    return get_profile("fast")

@@ -1,0 +1,40 @@
+"""Bench: the ablation studies DESIGN.md calls out."""
+
+from repro.analysis import render_table, run_ablations
+
+
+def test_ablations(benchmark, bench_profile):
+    panels = benchmark.pedantic(
+        run_ablations, args=(bench_profile,), rounds=1, iterations=1
+    )
+    for panel in panels:
+        print()
+        print(render_table(panel))
+
+    by_id = {panel.figure_id: panel for panel in panels}
+
+    # K: cost monotone non-increasing, search effort strictly growing
+    k_panel = by_id["ablation-k"]
+    costs = k_panel.series_by_label("mean cost").values
+    combos = k_panel.series_by_label("combinations/request").values
+    assert all(b <= a + 1e-9 for a, b in zip(costs, costs[1:]))
+    assert combos == sorted(combos) and combos[-1] > combos[0]
+
+    # cost models: congestion pricing beats the static-linear strawman
+    model_panel = by_id["ablation-cost-model"]
+    exponential = model_panel.series[0].values
+    strawman = model_panel.series_by_label("static linear (strawman)").values
+    assert sum(exponential) >= sum(strawman)
+
+    # thresholds: the literal 2|V| calibration pays for its guarantee
+    sigma_panel = by_id["ablation-thresholds"]
+    strict = sigma_panel.series_by_label("2|V| base, σ=|V|−1").values
+    loose = sigma_panel.series_by_label("2|V| base, σ=∞").values
+    assert sum(loose) >= sum(strict)
+
+    # KMB: empirical ratio within its factor-2 guarantee
+    kmb_panel = by_id["ablation-kmb"]
+    ratios = kmb_panel.series_by_label("cost ratio").values
+    assert all(1.0 - 1e-9 <= r <= 2.0 + 1e-9 for r in ratios)
+
+    benchmark.extra_info["kmb_worst_ratio"] = round(max(ratios), 4)

@@ -1,0 +1,22 @@
+"""Bench: empirical competitive ratio vs an offline oracle (extension)."""
+
+from repro.analysis import render_table, run_competitive
+
+
+def test_competitive(benchmark, bench_profile):
+    panels = benchmark.pedantic(
+        run_competitive, args=(bench_profile,), rounds=1, iterations=1
+    )
+    for panel in panels:
+        print()
+        print(render_table(panel))
+
+    ratio_panel = panels[1]
+    cp_ratios = ratio_panel.series_by_label("Online_CP / oracle").values
+    sp_ratios = ratio_panel.series_by_label("SP / oracle").values
+    # the theoretical guarantee is Ω(1/log|V|); empirically Online_CP should
+    # track the oracle closely and never fall below SP
+    assert all(r > 0.5 for r in cp_ratios)
+    assert sum(cp_ratios) >= sum(sp_ratios)
+
+    benchmark.extra_info["min_cp_ratio"] = round(min(cp_ratios), 3)

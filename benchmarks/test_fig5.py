@@ -1,0 +1,34 @@
+"""Bench: regenerate Fig. 5 (Appro_Multi vs Alg_One_Server, random SDNs)."""
+
+from repro.analysis import render_table, run_fig5
+
+
+def test_fig5(benchmark, bench_profile):
+    panels = benchmark.pedantic(
+        run_fig5, args=(bench_profile,), rounds=1, iterations=1
+    )
+    for panel in panels:
+        print()
+        print(render_table(panel))
+
+    # Paper shape: Appro_Multi strictly cheaper at every point, and the
+    # absolute gap grows with network size; Appro_Multi is slower.
+    for panel in panels:
+        if panel.figure_id.startswith("fig5-cost"):
+            appro = panel.series_by_label("Appro_Multi").values
+            base = panel.series_by_label("Alg_One_Server").values
+            assert all(a < b for a, b in zip(appro, base))
+            gaps = [b - a for a, b in zip(appro, base)]
+            assert gaps[-1] > gaps[0]
+        else:
+            appro = panel.series_by_label("Appro_Multi").values
+            base = panel.series_by_label("Alg_One_Server").values
+            assert all(a > b for a, b in zip(appro, base))
+
+    benchmark.extra_info["panels"] = len(panels)
+    cost_panel = panels[0]
+    benchmark.extra_info["cost_ratio_largest_network"] = round(
+        cost_panel.series_by_label("Appro_Multi").values[-1]
+        / cost_panel.series_by_label("Alg_One_Server").values[-1],
+        3,
+    )

@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 6 (real topologies: GÉANT, AS1755, AS4755)."""
+
+from repro.analysis import render_table, run_fig6
+
+
+def test_fig6(benchmark, bench_profile):
+    panels = benchmark.pedantic(
+        run_fig6, args=(bench_profile,), rounds=1, iterations=1
+    )
+    for panel in panels:
+        print()
+        print(render_table(panel))
+
+    for panel in panels:
+        appro = panel.series_by_label("Appro_Multi").values
+        base = panel.series_by_label("Alg_One_Server").values
+        if panel.figure_id.startswith("fig6-cost"):
+            # Paper: clearly cheaper in the real networks at every ratio
+            assert all(a < b for a, b in zip(appro, base))
+            # costs rise with the destination ratio
+            assert appro[-1] > appro[0]
+        else:
+            assert all(a >= b for a, b in zip(appro, base))
+
+    geant_cost = panels[0]
+    benchmark.extra_info["geant_cost_ratio_at_0.15"] = round(
+        geant_cost.series_by_label("Appro_Multi").values[2]
+        / geant_cost.series_by_label("Alg_One_Server").values[2],
+        3,
+    )

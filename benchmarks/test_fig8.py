@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 8 (Online_CP vs SP over network sizes)."""
+
+from repro.analysis import render_table, run_fig8
+
+
+def test_fig8(benchmark, bench_profile):
+    panels = benchmark.pedantic(
+        run_fig8, args=(bench_profile,), rounds=1, iterations=1
+    )
+    for panel in panels:
+        print()
+        print(render_table(panel))
+
+    admitted = panels[0]
+    cp = admitted.series_by_label("Online_CP").values
+    sp = admitted.series_by_label("SP").values
+    # Paper: Online_CP admits more requests at every size
+    assert all(c >= s for c, s in zip(cp, sp))
+    assert sum(cp) > sum(sp)
+    # Paper: the admitted count is not monotone in the network size
+    assert cp != sorted(cp) or cp != sorted(cp, reverse=True)
+
+    benchmark.extra_info["cp_over_sp"] = round(sum(cp) / sum(sp), 3)

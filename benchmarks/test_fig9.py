@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 9 (Online_CP vs SP as the request count grows)."""
+
+from repro.analysis import render_table, run_fig9
+
+
+def test_fig9(benchmark, bench_profile):
+    panels = benchmark.pedantic(
+        run_fig9, args=(bench_profile,), rounds=1, iterations=1
+    )
+    for panel in panels:
+        print()
+        print(render_table(panel))
+
+    for panel in panels:
+        cp = panel.series_by_label("Online_CP").values
+        sp = panel.series_by_label("SP").values
+        # light load: both admit nearly everything
+        assert cp[0] >= 0.8 * panel.xs[0]
+        # full load: Online_CP ahead (or tied), and the gap does not shrink
+        assert cp[-1] >= sp[-1]
+        assert (cp[-1] - sp[-1]) >= (cp[0] - sp[0]) - 2.0
+
+    benchmark.extra_info["final_gap_geant"] = (
+        panels[0].series_by_label("Online_CP").values[-1]
+        - panels[0].series_by_label("SP").values[-1]
+    )

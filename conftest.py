@@ -1,0 +1,12 @@
+"""Repo-level pytest configuration.
+
+Ensures ``src`` is importable even when the package has not been installed
+(e.g. a fresh checkout running ``pytest`` directly).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

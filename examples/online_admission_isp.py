@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Online request admission on an ISP backbone, with churn.
+
+Replays a 300-request arrival sequence (plus Poisson departures) against the
+AS1755 (Ebone) topology twice — once with the paper's congestion-priced
+``Online_CP`` and once with the load-oblivious ``SP`` heuristic — and prints
+the admission race, the rejection breakdown, and the final network state.
+
+Run:  python examples/online_admission_isp.py
+"""
+
+from repro import (
+    OnlineCP,
+    SPOnline,
+    build_sdn,
+    generate_workload,
+    rocketfuel_graph,
+    rocketfuel_servers,
+    run_online_with_departures,
+)
+from repro.core import ExponentialCostModel
+from repro.workload import poisson_process
+
+REQUESTS = 400
+ARRIVAL_RATE = 4.0  # requests per time unit
+MEAN_HOLDING = 400.0  # long-lived sessions: nearly all overlap
+
+
+def run(name, algorithm, events):
+    stats = run_online_with_departures(algorithm, events)
+    print(f"{name}:")
+    print(f"  admitted {stats.admitted}/{stats.processed} "
+          f"({stats.acceptance_ratio:.1%})")
+    if stats.reject_reasons:
+        breakdown = ", ".join(
+            f"{reason.value}={count}"
+            for reason, count in sorted(
+                stats.reject_reasons.items(), key=lambda kv: -kv[1]
+            )
+        )
+        print(f"  rejections: {breakdown}")
+    print(f"  final link utilization:   {stats.final_link_utilization:.2%}")
+    print(f"  final server utilization: {stats.final_server_utilization:.2%}")
+    milestones = stats.admitted_timeline[49::50]
+    print(f"  admitted after every 50 arrivals: {milestones}\n")
+    return stats
+
+
+def make_cp(graph, servers):
+    return OnlineCP(
+        build_sdn(graph, server_nodes=servers, seed=17),
+        cost_model=ExponentialCostModel(alpha=8.0, beta=8.0),
+    )
+
+
+def make_sp(graph, servers):
+    return SPOnline(build_sdn(graph, server_nodes=servers, seed=17))
+
+
+def main() -> None:
+    from repro.workload import one_by_one
+
+    graph = rocketfuel_graph(1755).copy()
+    servers = rocketfuel_servers(1755)
+    requests = generate_workload(graph, REQUESTS, seed=17)
+    print(
+        f"AS1755 (Ebone): {graph.num_nodes} POPs, {graph.num_edges} links, "
+        f"{len(servers)} NFV locations; {REQUESTS} requests\n"
+    )
+
+    print("--- scenario 1: persistent sessions (nothing ever departs) ---\n")
+    persistent = one_by_one(requests)
+    cp_stats = run(
+        "Online_CP (exponential congestion pricing)",
+        make_cp(graph, servers), persistent,
+    )
+    sp_stats = run("SP (uniform link weights)", make_sp(graph, servers),
+                   persistent)
+    print(
+        f"Online_CP admitted {cp_stats.admitted - sp_stats.admitted:+d} "
+        f"requests vs SP ({cp_stats.admitted} vs {sp_stats.admitted})\n"
+    )
+
+    print("--- scenario 2: churn (Poisson arrivals, finite sessions) ---\n")
+    churn = poisson_process(
+        requests, arrival_rate=ARRIVAL_RATE, mean_holding_time=MEAN_HOLDING,
+        seed=18,
+    )
+    cp_churn = run(
+        "Online_CP (exponential congestion pricing)",
+        make_cp(graph, servers), churn,
+    )
+    sp_churn = run("SP (uniform link weights)", make_sp(graph, servers), churn)
+    print(
+        f"with churn: Online_CP {cp_churn.admitted} vs SP "
+        f"{sp_churn.admitted} — departures relieve pressure, so the gap "
+        f"narrows relative to persistent sessions"
+    )
+
+
+if __name__ == "__main__":
+    main()

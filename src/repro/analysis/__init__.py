@@ -1,0 +1,111 @@
+"""Analysis: one reproduction driver per figure of the paper."""
+
+from repro.analysis.ablations import (
+    ablate_cost_model,
+    ablate_k,
+    ablate_kmb_quality,
+    ablate_online_k,
+    ablate_thresholds,
+    ablate_topology_family,
+    run_ablations,
+)
+from repro.analysis.ascii_plot import render_chart
+from repro.analysis.competitive import (
+    offline_oracle_admissions,
+    run_competitive,
+)
+from repro.analysis.export import (
+    figure_to_csv,
+    figure_to_dict,
+    results_to_json,
+    write_json,
+)
+from repro.analysis.confidence_runs import run_fig8_ci
+from repro.analysis.fig5 import run_fig5
+from repro.analysis.fig6 import FIG6_RATIOS, run_fig6
+from repro.analysis.fig7 import FIG7_RATIO, run_fig7
+from repro.analysis.fig8 import run_fig8
+from repro.analysis.fig9 import run_fig9
+from repro.analysis.profiles import (
+    FAST_PROFILE,
+    ONLINE_ALPHA_BETA,
+    PAPER_PROFILE,
+    ExperimentProfile,
+    get_profile,
+)
+from repro.analysis.report import (
+    EXPERIMENTS,
+    build_experiments_markdown,
+    run_all,
+    run_experiment,
+)
+from repro.analysis.series import FigureResult, Series, render_table
+from repro.analysis.stats import (
+    SampleSummary,
+    aggregate_over_seeds,
+    curves_with_confidence,
+    summarize,
+    t_quantile_975,
+)
+from repro.analysis.verdicts import (
+    ClaimVerdict,
+    render_verdicts,
+    verdicts_markdown,
+    verify_results,
+)
+from repro.analysis.visualize import (
+    graph_to_dot,
+    network_to_dot,
+    tree_to_dot,
+    write_dot,
+)
+
+__all__ = [
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_ablations",
+    "run_competitive",
+    "run_fig8_ci",
+    "offline_oracle_admissions",
+    "render_chart",
+    "figure_to_csv",
+    "figure_to_dict",
+    "results_to_json",
+    "write_json",
+    "ablate_k",
+    "ablate_online_k",
+    "ablate_topology_family",
+    "ablate_cost_model",
+    "ablate_thresholds",
+    "ablate_kmb_quality",
+    "FIG6_RATIOS",
+    "FIG7_RATIO",
+    "ExperimentProfile",
+    "FAST_PROFILE",
+    "PAPER_PROFILE",
+    "ONLINE_ALPHA_BETA",
+    "get_profile",
+    "EXPERIMENTS",
+    "run_all",
+    "run_experiment",
+    "build_experiments_markdown",
+    "FigureResult",
+    "Series",
+    "render_table",
+    "SampleSummary",
+    "summarize",
+    "aggregate_over_seeds",
+    "curves_with_confidence",
+    "t_quantile_975",
+    "graph_to_dot",
+    "network_to_dot",
+    "tree_to_dot",
+    "write_dot",
+    "ClaimVerdict",
+    "verify_results",
+    "render_verdicts",
+    "verdicts_markdown",
+]

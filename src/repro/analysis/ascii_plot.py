@@ -1,0 +1,80 @@
+"""Terminal line charts for figure results — no plotting dependency.
+
+``render_chart`` draws a :class:`~repro.analysis.series.FigureResult` as a
+fixed-size character canvas: one marker per series, a y-axis with min/max
+labels, and x labels at both ends.  Useful with ``python -m repro.cli fig8
+--chart`` to eyeball shapes without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.series import FigureResult
+
+#: Series markers, assigned in order.
+MARKERS = "ox+*#@%&"
+
+
+def render_chart(
+    result: FigureResult, width: int = 64, height: int = 16
+) -> str:
+    """Render the panel's series onto a ``width × height`` canvas."""
+    if not result.xs or not result.series:
+        return f"{result.figure_id}: (no data)"
+    if width < 8 or height < 4:
+        raise ValueError("canvas must be at least 8x4")
+
+    xs = [float(x) for x in result.xs]
+    all_values = [v for series in result.series for v in series.values]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_values), max(all_values)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, marker: str) -> None:
+        column = round((x - x_lo) / x_span * (width - 1))
+        row = round((y - y_lo) / y_span * (height - 1))
+        line = height - 1 - row
+        current = canvas[line][column]
+        canvas[line][column] = "*" if current not in (" ", marker) else marker
+
+    for index, series in enumerate(result.series):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in zip(xs, series.values):
+            plot(x, y, marker)
+
+    y_hi_label = _compact(y_hi)
+    y_lo_label = _compact(y_lo)
+    gutter = max(len(y_hi_label), len(y_lo_label))
+    lines: List[str] = [f"{result.figure_id}: {result.title}"]
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = y_hi_label.rjust(gutter)
+        elif i == height - 1:
+            label = y_lo_label.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_left = _compact(x_lo)
+    x_right = _compact(x_hi)
+    padding = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (gutter + 2) + x_left + " " * max(1, padding) + x_right
+    )
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {series.label}"
+        for i, series in enumerate(result.series)
+    )
+    lines.append(" " * (gutter + 2) + legend)
+    return "\n".join(lines)
+
+
+def _compact(value: float) -> str:
+    """Short numeric label: ints stay ints, floats get 3 significant digits."""
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    return f"{value:.3g}"

@@ -1,0 +1,68 @@
+"""Structured export of figure results (JSON and CSV).
+
+Downstream users rarely want text tables: they want the series in a form a
+plotting pipeline can ingest.  :func:`results_to_json` serializes a full
+experiment run; :func:`figure_to_csv` flattens one panel into CSV rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List
+
+from repro.analysis.series import FigureResult
+
+
+def figure_to_dict(result: FigureResult) -> Dict:
+    """Serialize one panel to plain JSON-compatible data."""
+    return {
+        "figure_id": result.figure_id,
+        "title": result.title,
+        "x_label": result.x_label,
+        "xs": list(result.xs),
+        "series": [
+            {"label": series.label, "values": list(series.values)}
+            for series in result.series
+        ],
+        "metadata": {k: _plain(v) for k, v in result.metadata.items()},
+    }
+
+
+def results_to_json(
+    results: Dict[str, List[FigureResult]], indent: int = 2
+) -> str:
+    """Serialize an entire experiment run (name → panels) to JSON."""
+    payload = {
+        name: [figure_to_dict(panel) for panel in panels]
+        for name, panels in results.items()
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    """Flatten one panel to CSV: first column x, one column per series."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [result.x_label] + [series.label for series in result.series]
+    )
+    for i, x in enumerate(result.xs):
+        writer.writerow([x] + [series.values[i] for series in result.series])
+    return buffer.getvalue()
+
+
+def write_json(
+    results: Dict[str, List[FigureResult]], path: str
+) -> None:
+    """Write :func:`results_to_json` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(results_to_json(results))
+
+
+def _plain(value):
+    """Coerce metadata values into JSON-safe primitives."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

@@ -1,0 +1,85 @@
+"""Fig. 5 — ``Appro_Multi`` vs ``Alg_One_Server`` on random networks.
+
+Panels (a)–(c) of the paper plot the mean operational cost of the two
+algorithms against the network size (50 … 250) for increasing values of the
+destination ratio ``D_max/|V|``; panels (d)–(f) plot their running times.
+Each driver call reproduces one (cost, time) panel pair per configured
+ratio.
+
+Expected shape: ``Appro_Multi`` costs roughly 70–90 % of
+``Alg_One_Server``, the absolute gap widens with network size, and
+``Appro_Multi`` is slower (it searches ``Σ_j C(|V_S|, j)`` server
+combinations).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.common import build_random_network, make_requests
+from repro.analysis.profiles import ExperimentProfile
+from repro.analysis.series import FigureResult
+from repro.core import alg_one_server, appro_multi
+from repro.simulation import run_offline
+
+
+def run_fig5(profile: ExperimentProfile) -> List[FigureResult]:
+    """Reproduce every panel of Fig. 5 under ``profile``.
+
+    Returns one cost panel and one running-time panel per ratio in
+    ``profile.ratios``.
+    """
+    results: List[FigureResult] = []
+    for ratio in profile.ratios:
+        cost_panel = FigureResult(
+            figure_id=f"fig5-cost-r{ratio:g}",
+            title=(
+                "Operational cost, Appro_Multi vs Alg_One_Server "
+                f"(D_max/|V| = {ratio:g})"
+            ),
+            x_label="network size |V|",
+            xs=list(profile.network_sizes),
+            metadata={
+                "profile": profile.name,
+                "requests_per_point": profile.offline_requests,
+                "K": profile.max_servers,
+            },
+        )
+        time_panel = FigureResult(
+            figure_id=f"fig5-time-r{ratio:g}",
+            title=(
+                "Running time (s/request), Appro_Multi vs Alg_One_Server "
+                f"(D_max/|V| = {ratio:g})"
+            ),
+            x_label="network size |V|",
+            xs=list(profile.network_sizes),
+            metadata={"profile": profile.name},
+        )
+
+        appro_costs, appro_times = [], []
+        base_costs, base_times = [], []
+        for size in profile.network_sizes:
+            seed = profile.seed_for("fig5", ratio, size)
+            network = build_random_network(size, seed)
+            requests = make_requests(
+                network.graph, profile.offline_requests, ratio, seed + 1
+            )
+            appro_stats = run_offline(
+                lambda net, req: appro_multi(
+                    net, req, max_servers=profile.max_servers
+                ),
+                network,
+                requests,
+            )
+            base_stats = run_offline(alg_one_server, network, requests)
+            appro_costs.append(appro_stats.mean_cost)
+            appro_times.append(appro_stats.mean_runtime)
+            base_costs.append(base_stats.mean_cost)
+            base_times.append(base_stats.mean_runtime)
+
+        cost_panel.add_series("Appro_Multi", appro_costs)
+        cost_panel.add_series("Alg_One_Server", base_costs)
+        time_panel.add_series("Appro_Multi", appro_times)
+        time_panel.add_series("Alg_One_Server", base_times)
+        results.extend([cost_panel, time_panel])
+    return results

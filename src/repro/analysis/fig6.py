@@ -1,0 +1,77 @@
+"""Fig. 6 — ``Appro_Multi`` vs ``Alg_One_Server`` on real topologies.
+
+The paper's panels plot operational cost (a, b) and running time (c, d) in
+GÉANT and AS1755 while sweeping ``D_max/|V|`` from 0.05 to 0.2.  AS4755 is
+named in the figure caption, so this driver reproduces it as well.
+
+Expected shape: ``Appro_Multi`` clearly cheaper (the paper quotes ≈30 %
+lower cost in AS1755 at ratio 0.15) at slightly higher running time; both
+costs grow with the ratio (more destinations → bigger trees).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.common import build_real_network, make_requests
+from repro.analysis.profiles import ExperimentProfile
+from repro.analysis.series import FigureResult
+from repro.core import alg_one_server, appro_multi
+from repro.simulation import run_offline
+
+#: The ratio sweep shown in the paper's Fig. 6.
+FIG6_RATIOS = (0.05, 0.1, 0.15, 0.2)
+FIG6_TOPOLOGIES = ("GEANT", "AS1755", "AS4755")
+
+
+def run_fig6(
+    profile: ExperimentProfile,
+    topologies: Sequence[str] = FIG6_TOPOLOGIES,
+) -> List[FigureResult]:
+    """Reproduce the cost and running-time panels of Fig. 6."""
+    results: List[FigureResult] = []
+    ratios = list(FIG6_RATIOS)
+    for name in topologies:
+        cost_panel = FigureResult(
+            figure_id=f"fig6-cost-{name.lower()}",
+            title=f"Operational cost in {name}",
+            x_label="D_max/|V|",
+            xs=ratios,
+            metadata={
+                "profile": profile.name,
+                "requests_per_point": profile.offline_requests,
+                "K": profile.max_servers,
+            },
+        )
+        time_panel = FigureResult(
+            figure_id=f"fig6-time-{name.lower()}",
+            title=f"Running time (s/request) in {name}",
+            x_label="D_max/|V|",
+            xs=ratios,
+            metadata={"profile": profile.name},
+        )
+        appro_costs, appro_times, base_costs, base_times = [], [], [], []
+        for ratio in ratios:
+            seed = profile.seed_for("fig6", name, ratio)
+            network = build_real_network(name, seed)
+            requests = make_requests(
+                network.graph, profile.offline_requests, ratio, seed + 1
+            )
+            appro_stats = run_offline(
+                lambda net, req: appro_multi(
+                    net, req, max_servers=profile.max_servers
+                ),
+                network,
+                requests,
+            )
+            base_stats = run_offline(alg_one_server, network, requests)
+            appro_costs.append(appro_stats.mean_cost)
+            appro_times.append(appro_stats.mean_runtime)
+            base_costs.append(base_stats.mean_cost)
+            base_times.append(base_stats.mean_runtime)
+        cost_panel.add_series("Appro_Multi", appro_costs)
+        cost_panel.add_series("Alg_One_Server", base_costs)
+        time_panel.add_series("Appro_Multi", appro_times)
+        time_panel.add_series("Alg_One_Server", base_times)
+        results.extend([cost_panel, time_panel])
+    return results

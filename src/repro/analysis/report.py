@@ -1,0 +1,159 @@
+"""End-to-end experiment runner and EXPERIMENTS.md generation."""
+
+from __future__ import annotations
+
+import datetime
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.ablations import run_ablations
+from repro.analysis.competitive import run_competitive
+from repro.analysis.confidence_runs import run_fig8_ci
+from repro.analysis.fig5 import run_fig5
+from repro.analysis.fig6 import run_fig6
+from repro.analysis.fig7 import run_fig7
+from repro.analysis.fig8 import run_fig8
+from repro.analysis.fig9 import run_fig9
+from repro.analysis.profiles import ExperimentProfile
+from repro.analysis.series import FigureResult, render_table
+from repro.analysis.verdicts import verdicts_markdown, verify_results
+from repro.exceptions import ExperimentError
+
+#: Registry of experiment drivers keyed by CLI name.
+EXPERIMENTS: Dict[str, Callable[[ExperimentProfile], List[FigureResult]]] = {
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "ablations": run_ablations,
+    "competitive": run_competitive,
+    "fig8ci": run_fig8_ci,
+}
+
+#: Paper-vs-expected commentary per experiment (used in EXPERIMENTS.md).
+EXPECTATIONS: Dict[str, str] = {
+    "fig5": (
+        "Paper: Appro_Multi's cost is ≈80% of Alg_One_Server's, the absolute "
+        "gap widens with network size, and Appro_Multi takes slightly longer. "
+        "Check the cost columns (Appro_Multi < Alg_One_Server throughout) and "
+        "the time columns (Appro_Multi > Alg_One_Server)."
+    ),
+    "fig6": (
+        "Paper: in GÉANT and AS1755, Appro_Multi's cost is clearly lower "
+        "(≈30% lower in AS1755 at ratio 0.15) at slightly higher running "
+        "time; cost grows with D_max/|V| for both algorithms."
+    ),
+    "fig7": (
+        "Paper: Appro_Multi_Cap's operational cost exceeds uncapacitated "
+        "Appro_Multi's — capacity pruning shrinks the usable server "
+        "combinations."
+    ),
+    "fig8": (
+        "Paper: Online_CP admits more requests than SP at every network "
+        "size (the paper reports up to 2×), and the admitted count is not "
+        "monotone in the network size."
+    ),
+    "fig9": (
+        "Paper: both algorithms admit almost all requests while load is "
+        "light (≤ ~100), then Online_CP pulls ahead and the gap widens with "
+        "the number of requests."
+    ),
+    "ablations": (
+        "K larger → cost never worse but combinatorial search cost grows; "
+        "congestion-aware pricing beats the static linear strawman; the "
+        "paper's σ=|V|−1 thresholds with α=β=2|V| trade throughput for the "
+        "worst-case guarantee; KMB stays well under its factor-2 bound; the "
+        "multi-server online extension (OnlineCPK) matches or beats the "
+        "paper's K=1 online algorithm."
+    ),
+    "fig8ci": (
+        "Statistical variant of Fig. 8: Online_CP's mean admissions should "
+        "exceed SP's with confidence intervals that do not overlap at the "
+        "sizes where the gap is visible."
+    ),
+    "competitive": (
+        "Extension: Theorem 2 guarantees Ω(1/log|V|) of the offline "
+        "optimum; against a greedy full-lookahead oracle the empirical "
+        "ratio should sit far above that worst case (≈0.8–1.0), with SP "
+        "noticeably lower under load."
+    ),
+}
+
+
+def run_experiment(
+    name: str, profile: ExperimentProfile
+) -> List[FigureResult]:
+    """Run one named experiment under ``profile``."""
+    try:
+        driver = EXPERIMENTS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return driver(profile)
+
+
+def run_all(
+    profile: ExperimentProfile,
+    names: Optional[Sequence[str]] = None,
+    echo: Optional[Callable[[str], None]] = print,
+) -> Dict[str, List[FigureResult]]:
+    """Run the configured experiments, echoing tables as they complete."""
+    chosen = list(names) if names is not None else list(EXPERIMENTS)
+    results: Dict[str, List[FigureResult]] = {}
+    for name in chosen:
+        started = time.perf_counter()
+        panels = run_experiment(name, profile)
+        elapsed = time.perf_counter() - started
+        results[name] = panels
+        if echo is not None:
+            echo(f"== {name} ({elapsed:.1f}s) ==")
+            for panel in panels:
+                echo(render_table(panel))
+                echo("")
+    return results
+
+
+def build_experiments_markdown(
+    results: Dict[str, List[FigureResult]], profile: ExperimentProfile
+) -> str:
+    """Render the EXPERIMENTS.md document from run results."""
+    lines = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Reproduction of every figure in the evaluation section of",
+        '*"Approximation and Online Algorithms for NFV-Enabled Multicasting',
+        'in SDNs"* (ICDCS 2017).  Regenerate with:',
+        "",
+        "```",
+        f"python -m repro.cli all --profile {profile.name}",
+        "```",
+        "",
+        f"Profile: `{profile.name}` — network sizes "
+        f"{list(profile.network_sizes)}, {profile.offline_requests} requests "
+        f"per offline data point (the paper averages 1 000; means stabilize "
+        f"far earlier and the full setting is available via the `paper` "
+        f"profile), {profile.online_requests} requests per online run, "
+        f"K = {profile.max_servers}.",
+        "",
+        f"Generated: {datetime.date.today().isoformat()}",
+        "",
+        "## Claim verification",
+        "",
+        verdicts_markdown(verify_results(results)),
+        "",
+    ]
+    for name, panels in results.items():
+        lines.append(f"## {name}")
+        lines.append("")
+        expectation = EXPECTATIONS.get(name)
+        if expectation:
+            lines.append(f"**Expected shape.** {expectation}")
+            lines.append("")
+        for panel in panels:
+            lines.append("```")
+            lines.append(render_table(panel))
+            lines.append("```")
+            lines.append("")
+    return "\n".join(lines)

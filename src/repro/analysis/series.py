@@ -1,0 +1,102 @@
+"""Result containers for figure reproductions.
+
+Every driver in :mod:`repro.analysis` returns a :class:`FigureResult`: a set
+of named series over a shared x-axis, plus free-form metadata.  The paper
+presents all results as line plots, so this shape covers every figure; the
+:func:`render_table` helper prints the same numbers as an aligned text table
+for terminals, logs, and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve: ``values[i]`` corresponds to ``FigureResult.xs[i]``."""
+
+    label: str
+    values: List[float]
+
+
+@dataclass
+class FigureResult:
+    """All series of one reproduced figure (or one of its panels).
+
+    Attributes:
+        figure_id: e.g. ``"fig5a"``.
+        title: human-readable description of the panel.
+        x_label: meaning of the x axis.
+        xs: x-axis points.
+        series: the curves.
+        metadata: provenance (profile name, seeds, request counts, …).
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    xs: List[float]
+    series: List[Series] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add_series(self, label: str, values: Sequence[float]) -> None:
+        """Append a curve, checking it matches the x axis."""
+        if len(values) != len(self.xs):
+            raise ValueError(
+                f"series {label!r} has {len(values)} points for "
+                f"{len(self.xs)} x values"
+            )
+        self.series.append(Series(label=label, values=list(values)))
+
+    def series_by_label(self, label: str) -> Series:
+        """Return the curve with the given label."""
+        for candidate in self.series:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(label)
+
+
+def render_table(result: FigureResult, float_format: str = "{:.3f}") -> str:
+    """Render a figure's series as an aligned text table.
+
+    The first column is the x axis; one column per series follows.
+    """
+    headers = [result.x_label] + [series.label for series in result.series]
+    rows: List[List[str]] = []
+    for i, x in enumerate(result.xs):
+        row = [_format_number(x, float_format)]
+        row.extend(
+            _format_number(series.values[i], float_format)
+            for series in result.series
+        )
+        rows.append(row)
+
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in rows)) if rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = [
+        f"{result.figure_id}: {result.title}",
+        "  " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  " + "-+-".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  " + " | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    if result.metadata:
+        meta = ", ".join(f"{k}={v}" for k, v in sorted(result.metadata.items()))
+        lines.append(f"  ({meta})")
+    return "\n".join(lines)
+
+
+def _format_number(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e9:
+            return str(int(value))
+        return float_format.format(value)
+    return str(value)

@@ -1,0 +1,143 @@
+"""Statistics helpers: summaries and confidence intervals for experiments.
+
+The paper reports point averages; a production experiment harness should
+quantify run-to-run spread.  :func:`summarize` computes mean / stdev / a
+t-based confidence interval for a sample, and :func:`aggregate_over_seeds`
+re-runs a measurement under several seeds and folds the spread into a
+:class:`~repro.analysis.series.FigureResult` with ``mean`` and ``ci95``
+columns per series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.analysis.series import FigureResult
+
+#: Two-sided 97.5 % Student-t quantiles for small samples (df 1…30).
+_T_975 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def t_quantile_975(degrees_of_freedom: int) -> float:
+    """97.5 % two-sided Student-t quantile (normal limit beyond df 30)."""
+    if degrees_of_freedom < 1:
+        raise ValueError("need at least 1 degree of freedom")
+    if degrees_of_freedom <= len(_T_975):
+        return _T_975[degrees_of_freedom - 1]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Mean, spread, and a 95 % confidence half-width for one sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    ci95: float
+
+    @property
+    def low(self) -> float:
+        """Lower end of the 95 % confidence interval."""
+        return self.mean - self.ci95
+
+    @property
+    def high(self) -> float:
+        """Upper end of the 95 % confidence interval."""
+        return self.mean + self.ci95
+
+
+def summarize(values: Sequence[float]) -> SampleSummary:
+    """Summarize a sample; a single observation has zero spread."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return SampleSummary(count=1, mean=mean, stdev=0.0, ci95=0.0)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stdev = math.sqrt(variance)
+    ci95 = t_quantile_975(n - 1) * stdev / math.sqrt(n)
+    return SampleSummary(count=n, mean=mean, stdev=stdev, ci95=ci95)
+
+
+def aggregate_over_seeds(
+    measure: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int],
+    figure_id: str,
+    title: str,
+    x_label: str = "series",
+) -> FigureResult:
+    """Run ``measure(seed)`` per seed and tabulate mean ± CI per metric.
+
+    ``measure`` returns a flat ``{metric_name: value}`` dict; the resulting
+    panel has one x entry per metric and two series (``mean``, ``ci95``).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    samples: Dict[str, List[float]] = {}
+    for seed in seeds:
+        for metric, value in measure(seed).items():
+            samples.setdefault(metric, []).append(float(value))
+    metrics = sorted(samples)
+    result = FigureResult(
+        figure_id=figure_id,
+        title=title,
+        x_label=x_label,
+        xs=list(range(len(metrics))),
+        metadata={"seeds": len(seeds), "metrics": ", ".join(metrics)},
+    )
+    summaries = [summarize(samples[m]) for m in metrics]
+    result.add_series("mean", [s.mean for s in summaries])
+    result.add_series("ci95", [s.ci95 for s in summaries])
+    return result
+
+
+def curves_with_confidence(
+    measure: Callable[[int, object], Dict[str, float]],
+    seeds: Sequence[int],
+    xs: Sequence[object],
+    figure_id: str,
+    title: str,
+    x_label: str,
+) -> FigureResult:
+    """Sweep ``xs``, repeating each point over ``seeds``; emit mean±CI curves.
+
+    ``measure(seed, x)`` returns ``{series_label: value}``.  The panel gets,
+    for each series label, a ``<label>`` (mean) and a ``<label> ±`` (CI
+    half-width) column.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    if not xs:
+        raise ValueError("need at least one x value")
+    per_label: Dict[str, List[SampleSummary]] = {}
+    labels: List[str] = []
+    for x in xs:
+        collected: Dict[str, List[float]] = {}
+        for seed in seeds:
+            for label, value in measure(seed, x).items():
+                collected.setdefault(label, []).append(float(value))
+        if not labels:
+            labels = sorted(collected)
+        for label in labels:
+            per_label.setdefault(label, []).append(
+                summarize(collected[label])
+            )
+    result = FigureResult(
+        figure_id=figure_id,
+        title=title,
+        x_label=x_label,
+        xs=[float(x) if isinstance(x, (int, float)) else x for x in xs],
+        metadata={"seeds": len(seeds)},
+    )
+    for label in labels:
+        result.add_series(label, [s.mean for s in per_label[label]])
+        result.add_series(f"{label} ±", [s.ci95 for s in per_label[label]])
+    return result

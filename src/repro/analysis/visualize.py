@@ -1,0 +1,124 @@
+"""Graphviz-DOT export of networks and pseudo-multicast trees.
+
+No rendering dependency: these functions emit plain DOT text that any
+Graphviz install (or online viewer) turns into a picture.  Server switches
+are drawn as boxes, the request source as a double circle, destinations
+filled, tree links bold.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.core.pseudo_tree import PseudoMulticastTree
+from repro.graph.graph import Graph, edge_key
+from repro.network.sdn import SDNetwork
+
+Node = Hashable
+
+
+def _quote(node: Node) -> str:
+    text = str(node).replace('"', r"\"")
+    return f'"{text}"'
+
+
+def graph_to_dot(graph: Graph, name: str = "topology") -> str:
+    """Serialize a bare graph (weights as edge labels)."""
+    lines = [f"graph {name} {{", "  node [shape=circle, fontsize=10];"]
+    for node in sorted(graph.nodes(), key=repr):
+        lines.append(f"  {_quote(node)};")
+    for u, v, w in sorted(graph.edges(), key=lambda e: repr(edge_key(e[0], e[1]))):
+        lines.append(
+            f"  {_quote(u)} -- {_quote(v)} [label=\"{w:.2f}\"];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def network_to_dot(
+    network: SDNetwork,
+    tree: Optional[PseudoMulticastTree] = None,
+    name: str = "sdn",
+) -> str:
+    """Serialize an SDN, optionally highlighting one pseudo-multicast tree.
+
+    Styling:
+
+    - server switches: ``shape=box``;
+    - with a ``tree``: the source is a double circle, destinations are
+      filled grey, chain-hosting servers filled blue-ish, links on the tree
+      bold (with their usage multiplicity when > 1).
+    """
+    lines = [f"graph {name} {{", "  node [shape=circle, fontsize=10];"]
+    source = tree.request.source if tree is not None else None
+    destinations = set(tree.request.destinations) if tree is not None else set()
+    chain_servers = set(tree.servers) if tree is not None else set()
+    usage = tree.edge_usage() if tree is not None else {}
+
+    for node in sorted(network.graph.nodes(), key=repr):
+        attributes = []
+        if network.is_server(node):
+            attributes.append("shape=box")
+        if node == source:
+            attributes.append("shape=doublecircle")
+        if node in destinations:
+            attributes.append('style=filled, fillcolor="grey85"')
+        if node in chain_servers:
+            attributes.append('style=filled, fillcolor="lightblue"')
+        suffix = f" [{', '.join(attributes)}]" if attributes else ""
+        lines.append(f"  {_quote(node)}{suffix};")
+
+    for u, v, w in sorted(
+        network.graph.edges(), key=lambda e: repr(edge_key(e[0], e[1]))
+    ):
+        key = edge_key(u, v)
+        attributes = [f'label="{w:.3f}"']
+        count = usage.get(key, 0)
+        if count:
+            attributes.append("penwidth=3")
+            if count > 1:
+                attributes.append(f'xlabel="x{count}"')
+        lines.append(
+            f"  {_quote(u)} -- {_quote(v)} [{', '.join(attributes)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def tree_to_dot(
+    network: SDNetwork, tree: PseudoMulticastTree, name: str = "pseudo_tree"
+) -> str:
+    """Serialize only the routing structure of a pseudo-multicast tree.
+
+    Directed: arrows follow the stream (source→server legs, return paths,
+    distribution hops).
+    """
+    lines = [f"digraph {name} {{", "  node [shape=circle, fontsize=10];"]
+    seen = set()
+
+    def declare(node: Node) -> None:
+        if node in seen:
+            return
+        seen.add(node)
+        attributes = []
+        if node == tree.request.source:
+            attributes.append("shape=doublecircle")
+        elif node in tree.servers:
+            attributes.append('shape=box, style=filled, fillcolor="lightblue"')
+        elif node in tree.request.destinations:
+            attributes.append('style=filled, fillcolor="grey85"')
+        suffix = f" [{', '.join(attributes)}]" if attributes else ""
+        lines.append(f"  {_quote(node)}{suffix};")
+
+    for parent, child in tree.routing_hops():
+        declare(parent)
+        declare(child)
+        lines.append(f"  {_quote(parent)} -> {_quote(child)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(text: str, path: str) -> None:
+    """Write DOT text to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

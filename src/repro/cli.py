@@ -1,0 +1,154 @@
+"""Command-line interface: reproduce any figure from a terminal.
+
+Examples::
+
+    python -m repro.cli list
+    python -m repro.cli fig5 --profile fast
+    python -m repro.cli all --profile paper --output EXPERIMENTS.md
+    python -m repro.cli demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.profiles import get_profile
+from repro.analysis.report import (
+    EXPERIMENTS,
+    build_experiments_markdown,
+    run_all,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nfv-multicast",
+        description=(
+            "Reproduce the evaluation of 'Approximation and Online "
+            "Algorithms for NFV-Enabled Multicasting in SDNs' (ICDCS 2017)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    demo = subparsers.add_parser(
+        "demo", help="run a 30-second end-to-end demonstration"
+    )
+    demo.add_argument("--size", type=int, default=50, help="network size")
+    demo.add_argument("--seed", type=int, default=7, help="RNG seed")
+
+    for name in list(EXPERIMENTS) + ["all"]:
+        sub = subparsers.add_parser(
+            name,
+            help=(
+                "run every experiment" if name == "all"
+                else f"reproduce {name}"
+            ),
+        )
+        sub.add_argument(
+            "--profile",
+            default="fast",
+            help="experiment scale: 'fast' (default) or 'paper'",
+        )
+        sub.add_argument(
+            "--output",
+            default=None,
+            help="also write results as markdown to this path",
+        )
+        sub.add_argument(
+            "--json",
+            default=None,
+            help="also write results as JSON to this path",
+        )
+        sub.add_argument(
+            "--chart",
+            action="store_true",
+            help="render each panel as an ASCII chart after its table",
+        )
+    return parser
+
+
+def _run_demo(size: int, seed: int) -> None:
+    from repro import (
+        OnlineCP,
+        SPOnline,
+        alg_one_server,
+        appro_multi,
+        build_sdn,
+        generate_workload,
+        gt_itm_flat,
+        run_online,
+    )
+
+    graph = gt_itm_flat(size, seed=seed)
+    network = build_sdn(graph, seed=seed)
+    print(f"network: {network}")
+
+    request = generate_workload(graph, count=1, dmax_ratio=0.1, seed=seed)[0]
+    print(f"request: {request.describe()}")
+    tree = appro_multi(network, request, max_servers=3)
+    print(tree.describe())
+    baseline = alg_one_server(network, request)
+    print(
+        f"Alg_One_Server cost: {baseline.total_cost:.3f} "
+        f"(Appro_Multi saves "
+        f"{100 * (1 - tree.total_cost / baseline.total_cost):.1f}%)"
+    )
+
+    requests = generate_workload(graph, count=100, seed=seed + 1)
+    cp_stats = run_online(OnlineCP(build_sdn(graph, seed=seed)), requests)
+    sp_stats = run_online(SPOnline(build_sdn(graph, seed=seed)), requests)
+    print(
+        f"online over {len(requests)} requests: "
+        f"Online_CP admitted {cp_stats.admitted}, "
+        f"SP admitted {sp_stats.admitted}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        print("all")
+        return 0
+
+    if args.command == "demo":
+        _run_demo(args.size, args.seed)
+        return 0
+
+    profile = get_profile(args.profile)
+    names = None if args.command == "all" else [args.command]
+    results = run_all(profile, names=names)
+
+    from repro.analysis.verdicts import render_verdicts, verify_results
+
+    print(render_verdicts(verify_results(results)))
+    print()
+    if args.chart:
+        from repro.analysis.ascii_plot import render_chart
+
+        for panels in results.values():
+            for panel in panels:
+                print(render_chart(panel))
+                print()
+    if args.output:
+        markdown = build_experiments_markdown(results, profile)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        print(f"wrote {args.output}")
+    if args.json:
+        from repro.analysis.export import write_json
+
+        write_json(results, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""``Appro_Multi`` — the paper's 2K-approximation (Algorithm 1).
+
+Given an NFV-enabled multicast request ``r_k = (s_k, D_k; b_k, SC_k)`` and a
+budget of at most ``K`` servers for the service chain, the algorithm:
+
+1. enumerates every server combination ``V_S^i`` of size 1 … K;
+2. builds the auxiliary graph ``G_k^i`` (virtual source wired to the
+   combination's servers; see :mod:`repro.core.auxiliary`);
+3. finds a KMB Steiner tree spanning ``{s'_k} ∪ D_k`` in each ``G_k^i``;
+4. returns the cheapest tree over all combinations as a pseudo-multicast
+   tree.
+
+Theorem 1 guarantees the result costs at most ``2K`` times the optimal
+pseudo-multicast tree.  The capacitated variant ``Appro_Multi_Cap``
+(Section IV-C) runs the same search on the residual network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from repro.core.auxiliary import (
+    VIRTUAL_SOURCE,
+    AuxiliaryContext,
+    SubsetSolution,
+    build_context,
+    evaluate_combination,
+    iter_combinations,
+)
+from repro.core.pseudo_tree import PseudoMulticastTree
+from repro.exceptions import InfeasibleRequestError
+from repro.network.sdn import SDNetwork
+from repro.workload.request import MulticastRequest
+
+Node = Hashable
+
+#: The paper's evaluation default (Section VI-A): at most 3 servers.
+DEFAULT_MAX_SERVERS = 3
+
+
+@dataclass(frozen=True)
+class ApproMultiResult:
+    """Outcome of one ``Appro_Multi`` invocation.
+
+    Attributes:
+        tree: the chosen pseudo-multicast tree.
+        combinations_evaluated: how many server combinations were solved.
+        combinations_pruned: combinations skipped by the lower-bound prune.
+    """
+
+    tree: PseudoMulticastTree
+    combinations_evaluated: int
+    combinations_pruned: int
+
+
+def _solution_to_tree(
+    ctx: AuxiliaryContext,
+    solution: SubsetSolution,
+    request: MulticastRequest,
+) -> PseudoMulticastTree:
+    """Convert a winning auxiliary-graph tree into a pseudo-multicast tree."""
+    distribution = tuple(
+        (u, v)
+        for u, v, _ in solution.tree.edges()
+        if u is not VIRTUAL_SOURCE and v is not VIRTUAL_SOURCE
+    )
+    server_paths = {
+        server: tuple(ctx.path(ctx.source, server))
+        for server in solution.used_servers
+    }
+    compute_cost = sum(ctx.chain_cost[v] for v in solution.used_servers)
+    return PseudoMulticastTree(
+        request=request,
+        servers=solution.used_servers,
+        server_paths=server_paths,
+        distribution_edges=distribution,
+        return_paths=(),
+        bandwidth_cost=solution.cost - compute_cost,
+        compute_cost=compute_cost,
+    )
+
+
+def _search(
+    ctx: AuxiliaryContext,
+    request: MulticastRequest,
+    max_servers: int,
+) -> ApproMultiResult:
+    """Enumerate combinations and keep the cheapest KMB tree."""
+    best: Optional[SubsetSolution] = None
+    evaluated = 0
+    pruned = 0
+    for combination in iter_combinations(ctx.candidate_servers, max_servers):
+        # Lower bound: any tree for this combination contains at least one
+        # virtual edge, so it cannot beat `best` if even the cheapest
+        # virtual edge already does not.
+        if best is not None:
+            floor = min(ctx.virtual_weight[v] for v in combination)
+            if floor >= best.cost:
+                pruned += 1
+                continue
+        solution = evaluate_combination(ctx, combination)
+        evaluated += 1
+        if solution is None:
+            continue
+        if best is None or solution.cost < best.cost:
+            best = solution
+    if best is None:
+        raise InfeasibleRequestError(
+            f"request {request.request_id}: no feasible pseudo-multicast tree"
+        )
+    return ApproMultiResult(
+        tree=_solution_to_tree(ctx, best, request),
+        combinations_evaluated=evaluated,
+        combinations_pruned=pruned,
+    )
+
+
+def appro_multi(
+    network: SDNetwork,
+    request: MulticastRequest,
+    max_servers: int = DEFAULT_MAX_SERVERS,
+) -> PseudoMulticastTree:
+    """Solve the *uncapacitated* NFV-enabled multicasting problem.
+
+    Args:
+        network: the SDN (only its topology, unit costs, and server
+            locations are read; capacities are ignored — Case 1 of the
+            paper's problem definitions).
+        request: the multicast request.
+        max_servers: the paper's constant ``K ≥ 1``.
+
+    Returns:
+        A pseudo-multicast tree whose cost is within ``2K`` of optimal.
+
+    Raises:
+        InfeasibleRequestError: if the topology cannot connect the source,
+            a server, and every destination.
+    """
+    return appro_multi_detailed(network, request, max_servers).tree
+
+
+def appro_multi_detailed(
+    network: SDNetwork,
+    request: MulticastRequest,
+    max_servers: int = DEFAULT_MAX_SERVERS,
+) -> ApproMultiResult:
+    """Like :func:`appro_multi` but also reports search statistics."""
+    if max_servers < 1:
+        raise ValueError(f"K must be >= 1, got {max_servers}")
+    servers = network.server_nodes
+    chain_cost = {
+        v: network.chain_cost(v, request.compute_demand) for v in servers
+    }
+    ctx = build_context(
+        graph=network.graph,
+        source=request.source,
+        destinations=sorted(request.destinations, key=repr),
+        servers=servers,
+        chain_cost=chain_cost,
+        bandwidth=request.bandwidth,
+    )
+    return _search(ctx, request, max_servers)
+
+
+def appro_multi_cap(
+    network: SDNetwork,
+    request: MulticastRequest,
+    max_servers: int = DEFAULT_MAX_SERVERS,
+) -> PseudoMulticastTree:
+    """Solve the *capacitated* problem (``Appro_Multi_Cap``, Section IV-C).
+
+    Builds ``G' = (V, E')`` keeping only links whose residual bandwidth is
+    at least ``b_k`` and servers whose residual compute covers
+    ``C_v(SC_k)``, then runs ``Appro_Multi`` on it.
+
+    Raises:
+        InfeasibleRequestError: if the pruned network has no component
+            containing the source, at least one eligible server, and every
+            destination — the paper's rejection condition.
+    """
+    if max_servers < 1:
+        raise ValueError(f"K must be >= 1, got {max_servers}")
+    residual = network.residual_graph(min_bandwidth=request.bandwidth)
+    eligible = network.feasible_servers(request.compute_demand)
+    if not eligible:
+        raise InfeasibleRequestError(
+            f"request {request.request_id}: no server has "
+            f"{request.compute_demand:.0f} MHz available"
+        )
+    chain_cost = {
+        v: network.chain_cost(v, request.compute_demand) for v in eligible
+    }
+    ctx = build_context(
+        graph=residual,
+        source=request.source,
+        destinations=sorted(request.destinations, key=repr),
+        servers=eligible,
+        chain_cost=chain_cost,
+        bandwidth=request.bandwidth,
+    )
+    return _search(ctx, request, max_servers).tree

@@ -1,0 +1,147 @@
+"""Resource cost models for online admission (Section V-A).
+
+The paper's key online ingredient is an *exponential* cost that charges
+lightly-loaded resources almost nothing and saturating resources steeply:
+
+.. math::
+
+    c_v(k) = C_v (α^{1 - C_v(k)/C_v} - 1), \\qquad
+    c_e(k) = B_e (β^{1 - B_e(k)/B_e} - 1)
+
+with ``α = β = 2|V|``.  The *normalized weights* used inside Algorithm 2 are
+``w_v(k) = c_v(k)/C_v`` and ``w_e(k) = c_e(k)/B_e``.  A *linear* model (the
+strawman the paper argues against) is provided for ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.graph.graph import Graph, Node
+from repro.network.sdn import SDNetwork
+
+#: Tiny per-unit-cost tie-break added to solver edge weights so that a
+#: completely idle network (where every exponential weight is exactly zero)
+#: still prefers short, cheap paths instead of arbitrary zero-weight trees.
+#: It is orders of magnitude below any real congestion signal and is *not*
+#: included in threshold comparisons, so it cannot change admission
+#: decisions relative to the paper's policy.
+TIE_BREAK_SCALE = 1e-9
+
+
+class CostModel(abc.ABC):
+    """Maps the current residual state of a network to edge/node weights."""
+
+    @abc.abstractmethod
+    def edge_weight(self, network: SDNetwork, u: Node, v: Node) -> float:
+        """Return the normalized weight ``w_e(k)`` of link ``(u, v)``."""
+
+    @abc.abstractmethod
+    def node_weight(self, network: SDNetwork, node: Node) -> float:
+        """Return the normalized weight ``w_v(k)`` of the server at ``node``."""
+
+    def edge_cost(self, network: SDNetwork, u: Node, v: Node) -> float:
+        """Return the un-normalized cost ``c_e(k)`` of link ``(u, v)``."""
+        return self.edge_weight(network, u, v) * network.link(u, v).capacity
+
+    def node_cost(self, network: SDNetwork, node: Node) -> float:
+        """Return the un-normalized cost ``c_v(k)`` of the server at ``node``."""
+        return self.node_weight(network, node) * network.server(node).capacity
+
+    def weight_graph(
+        self, network: SDNetwork, min_residual_bandwidth: float = 0.0
+    ) -> Graph:
+        """Build the solver graph ``G_k`` with congestion-aware weights.
+
+        Links whose residual bandwidth is below ``min_residual_bandwidth``
+        are omitted (they cannot carry the request anyway).  A microscopic
+        distance-proportional tie-break is added so Steiner trees are
+        deterministic and short on an idle network; see
+        :data:`TIE_BREAK_SCALE`.
+        """
+        weighted = Graph()
+        for node in network.graph.nodes():
+            weighted.add_node(node)
+        for u, v, unit_cost in network.graph.edges():
+            link = network.link(u, v)
+            if link.residual + 1e-9 < min_residual_bandwidth:
+                continue
+            weight = self.edge_weight(network, u, v)
+            weighted.add_edge(u, v, weight + TIE_BREAK_SCALE * unit_cost)
+        return weighted
+
+
+class ExponentialCostModel(CostModel):
+    """The paper's congestion-pricing model (Eqs. 1 and 2).
+
+    Args:
+        alpha: base for server costs; defaults to ``2|V|`` at first use.
+        beta: base for link costs; defaults to ``2|V|`` at first use.
+    """
+
+    def __init__(
+        self, alpha: Optional[float] = None, beta: Optional[float] = None
+    ) -> None:
+        if alpha is not None and alpha <= 1:
+            raise ValueError(f"alpha must be > 1, got {alpha}")
+        if beta is not None and beta <= 1:
+            raise ValueError(f"beta must be > 1, got {beta}")
+        self._alpha = alpha
+        self._beta = beta
+
+    @classmethod
+    def for_network(cls, network: SDNetwork) -> "ExponentialCostModel":
+        """Return the paper's calibration ``α = β = 2|V|``."""
+        base = max(2.0, 2.0 * network.num_nodes)
+        return cls(alpha=base, beta=base)
+
+    def alpha(self, network: SDNetwork) -> float:
+        """The server-cost base (``2|V|`` when not overridden)."""
+        return self._alpha if self._alpha is not None else max(
+            2.0, 2.0 * network.num_nodes
+        )
+
+    def beta(self, network: SDNetwork) -> float:
+        """The link-cost base (``2|V|`` when not overridden)."""
+        return self._beta if self._beta is not None else max(
+            2.0, 2.0 * network.num_nodes
+        )
+
+    def edge_weight(self, network: SDNetwork, u: Node, v: Node) -> float:
+        link = network.link(u, v)
+        return self.beta(network) ** link.utilization - 1.0
+
+    def node_weight(self, network: SDNetwork, node: Node) -> float:
+        server = network.server(node)
+        return self.alpha(network) ** server.utilization - 1.0
+
+
+class LinearCostModel(CostModel):
+    """The strawman linear model (Section V-A's ``linear cost model``).
+
+    Charges proportionally to the amount of resource used with no regard to
+    the current load: the weight of a link or server is simply its unit
+    cost, scaled so weights are comparable to the exponential model's range.
+    Used to ablate the benefit of congestion pricing.
+    """
+
+    def edge_weight(self, network: SDNetwork, u: Node, v: Node) -> float:
+        return network.link(u, v).unit_cost
+
+    def node_weight(self, network: SDNetwork, node: Node) -> float:
+        return network.server(node).unit_cost
+
+
+class UtilizationCostModel(CostModel):
+    """Linear-in-utilization pricing: ``w = utilization``.
+
+    A second ablation point between the strawman and the exponential model:
+    congestion-aware, but without the exponential's sharp knee.
+    """
+
+    def edge_weight(self, network: SDNetwork, u: Node, v: Node) -> float:
+        return network.link(u, v).utilization
+
+    def node_weight(self, network: SDNetwork, node: Node) -> float:
+        return network.server(node).utilization

@@ -1,0 +1,141 @@
+"""Shared interface for online admission algorithms.
+
+``Online_CP`` and the ``SP`` baseline both consume a request stream against
+a shared capacitated :class:`SDNetwork` and must make irrevocable
+admit/reject decisions.  This module defines the decision record and the
+abstract base class the simulation engine drives.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+from repro.core.admission import release_tree, try_allocate
+from repro.core.pseudo_tree import PseudoMulticastTree
+from repro.exceptions import SimulationError
+from repro.network.allocation import AllocationTransaction
+from repro.network.sdn import SDNetwork
+from repro.workload.request import MulticastRequest
+
+
+class RejectReason(enum.Enum):
+    """Why an online algorithm turned a request away."""
+
+    NO_FEASIBLE_SERVER = "no_feasible_server"
+    DISCONNECTED = "disconnected"
+    SERVER_THRESHOLD = "server_threshold"
+    TREE_THRESHOLD = "tree_threshold"
+    ALLOCATION_FAILED = "allocation_failed"
+    TABLE_CAPACITY = "table_capacity"
+
+
+@dataclass
+class OnlineDecision:
+    """The outcome of considering one request.
+
+    Attributes:
+        request: the request considered.
+        admitted: whether resources were reserved and the tree installed.
+        tree: the pseudo-multicast tree (``None`` when rejected).
+        transaction: the committed reservation (``None`` when rejected).
+        selection_weight: the algorithm's internal score of the chosen
+            candidate (model-specific; ``None`` when rejected).
+        reason: why the request was rejected (``None`` when admitted).
+    """
+
+    request: MulticastRequest
+    admitted: bool
+    tree: Optional[PseudoMulticastTree] = None
+    transaction: Optional[AllocationTransaction] = None
+    selection_weight: Optional[float] = None
+    reason: Optional[RejectReason] = None
+
+
+class OnlineAlgorithm(abc.ABC):
+    """Base class: owns the network, tracks admissions, exposes ``process``."""
+
+    def __init__(self, network: SDNetwork) -> None:
+        self._network = network
+        self._decisions: List[OnlineDecision] = []
+        self._active: Dict[Hashable, OnlineDecision] = {}
+
+    @property
+    def network(self) -> SDNetwork:
+        """The capacitated network this algorithm allocates from."""
+        return self._network
+
+    @property
+    def decisions(self) -> List[OnlineDecision]:
+        """Every decision made so far, in arrival order."""
+        return list(self._decisions)
+
+    @property
+    def admitted_count(self) -> int:
+        """How many requests have been admitted (the throughput metric)."""
+        return sum(1 for d in self._decisions if d.admitted)
+
+    @property
+    def rejected_count(self) -> int:
+        """How many requests have been rejected."""
+        return sum(1 for d in self._decisions if not d.admitted)
+
+    def process(self, request: MulticastRequest) -> OnlineDecision:
+        """Decide on ``request``, reserving resources if admitted."""
+        decision = self._decide(request)
+        if decision.admitted:
+            if decision.tree is None or decision.transaction is None:
+                raise SimulationError(
+                    "an admitted decision must carry a tree and a transaction"
+                )
+            self._active[request.request_id] = decision
+        self._decisions.append(decision)
+        return decision
+
+    def depart(self, request_id: Hashable) -> None:
+        """Release the resources of a previously admitted request."""
+        decision = self._active.pop(request_id, None)
+        if decision is None:
+            raise SimulationError(
+                f"request {request_id!r} is not currently admitted"
+            )
+        assert decision.transaction is not None
+        release_tree(decision.transaction)
+
+    @abc.abstractmethod
+    def _decide(self, request: MulticastRequest) -> OnlineDecision:
+        """Evaluate one request and (on success) commit its reservation."""
+
+    # ------------------------------------------------------------------
+    # helpers for subclasses
+    # ------------------------------------------------------------------
+    def _admit(
+        self,
+        request: MulticastRequest,
+        tree: PseudoMulticastTree,
+        selection_weight: float,
+    ) -> OnlineDecision:
+        """Attempt to reserve ``tree``'s resources; fall back to rejection."""
+        transaction = try_allocate(self._network, tree)
+        if transaction is None:
+            return OnlineDecision(
+                request=request,
+                admitted=False,
+                reason=RejectReason.ALLOCATION_FAILED,
+            )
+        return OnlineDecision(
+            request=request,
+            admitted=True,
+            tree=tree,
+            transaction=transaction,
+            selection_weight=selection_weight,
+        )
+
+    @staticmethod
+    def _reject(
+        request: MulticastRequest, reason: RejectReason
+    ) -> OnlineDecision:
+        """Build a rejection record."""
+        return OnlineDecision(request=request, admitted=False, reason=reason)

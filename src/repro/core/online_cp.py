@@ -1,0 +1,204 @@
+"""``Online_CP`` — the paper's online admission algorithm (Algorithm 2).
+
+For each arriving request ``r_k`` (with ``K = 1``: one server hosts the whole
+chain):
+
+1. build ``G_k`` weighted by the normalized exponential costs
+   ``w_e(k) = β^{1−B_e(k)/B_e} − 1`` and ``w_v(k) = α^{1−C_v(k)/C_v} − 1``
+   (Section V-A, with ``α = β = 2|V|``);
+2. for every server ``v`` with enough residual compute and
+   ``w_v(k) < σ_v``, find a KMB Steiner tree ``T`` over ``{s_k, v} ∪ D_k``;
+3. keep candidates with ``Σ_{e∈T} w_e(k) < σ_e``; price each by
+   ``w(T) + w_v(k) + w(p_{v,u})`` where ``u = LCA(v, d_1, …, d_{|D_k|})``
+   in ``T`` rooted at ``s_k`` — the detour that sends the processed stream
+   from ``v`` back up to ``u`` before distribution;
+4. admit via the cheapest candidate, reserving ``b_k`` per tree edge plus
+   ``b_k`` per detour hop and ``C_v(SC_k)`` on the server; reject if no
+   candidate survives.
+
+Theorem 2 gives this policy an ``O(log |V|)`` competitive ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.admission import AdmissionPolicy
+from repro.core.cost_model import CostModel, ExponentialCostModel
+from repro.core.online_base import OnlineAlgorithm, OnlineDecision, RejectReason
+from repro.core.pseudo_tree import PseudoMulticastTree
+from repro.exceptions import DisconnectedGraphError
+from repro.graph.graph import Graph, edge_key
+from repro.graph.shortest_paths import ShortestPathTree, dijkstra
+from repro.graph.steiner import kmb_steiner_tree_cached
+from repro.graph.tree import RootedTree
+from repro.network.sdn import SDNetwork
+from repro.workload.request import MulticastRequest
+
+Node = Hashable
+
+
+@dataclass
+class _Candidate:
+    """One server's candidate pseudo-multicast tree."""
+
+    server: Node
+    tree: Graph
+    rooted: RootedTree
+    meeting_point: Node  # u = LCA(v, destinations)
+    selection_weight: float
+
+
+class OnlineCP(OnlineAlgorithm):
+    """Algorithm 2 with the exponential cost model and threshold policy.
+
+    Args:
+        network: the capacitated SDN (mutated as requests are admitted).
+        cost_model: resource pricing; defaults to the paper's exponential
+            model with ``α = β = 2|V|``.  Pass
+            :class:`~repro.core.cost_model.LinearCostModel` to reproduce the
+            ablation discussed in Section V-A.
+        policy: admission thresholds; defaults to ``σ_v = σ_e = |V| − 1``.
+    """
+
+    def __init__(
+        self,
+        network: SDNetwork,
+        cost_model: Optional[CostModel] = None,
+        policy: Optional[AdmissionPolicy] = None,
+    ) -> None:
+        super().__init__(network)
+        self._model = cost_model or ExponentialCostModel.for_network(network)
+        self._policy = policy or AdmissionPolicy.for_network(network)
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The resource pricing model in use."""
+        return self._model
+
+    @property
+    def policy(self) -> AdmissionPolicy:
+        """The admission thresholds in use."""
+        return self._policy
+
+    # ------------------------------------------------------------------
+    # decision procedure
+    # ------------------------------------------------------------------
+    def _decide(self, request: MulticastRequest) -> OnlineDecision:
+        network = self._network
+        demand = request.compute_demand
+        candidates = [
+            v
+            for v in network.server_nodes
+            if network.server(v).can_allocate(demand)
+        ]
+        if not candidates:
+            return self._reject(request, RejectReason.NO_FEASIBLE_SERVER)
+
+        weighted = self._model.weight_graph(
+            network, min_residual_bandwidth=request.bandwidth
+        )
+        destinations = sorted(request.destinations, key=repr)
+        source_tree = dijkstra(weighted, request.source)
+        if any(not source_tree.reaches(d) for d in destinations):
+            return self._reject(request, RejectReason.DISCONNECTED)
+
+        sp_cache: Dict[Node, ShortestPathTree] = {request.source: source_tree}
+        for destination in destinations:
+            sp_cache[destination] = dijkstra(weighted, destination)
+
+        best: Optional[_Candidate] = None
+        saw_server_pass = False
+        saw_tree_built = False
+        for server in candidates:
+            server_weight = self._model.node_weight(network, server)
+            if not self._policy.server_admissible(server_weight):
+                continue
+            saw_server_pass = True
+            if not source_tree.reaches(server):
+                continue
+            if server not in sp_cache:
+                sp_cache[server] = dijkstra(weighted, server)
+            terminals = [request.source, server] + destinations
+            try:
+                tree = kmb_steiner_tree_cached(weighted, sp_cache, terminals)
+            except DisconnectedGraphError:
+                continue
+            tree_weight = sum(
+                self._model.edge_weight(network, u, v)
+                for u, v, _ in tree.edges()
+            )
+            saw_tree_built = True
+            if not self._policy.tree_admissible(tree_weight):
+                continue
+            rooted = RootedTree(tree, request.source)
+            meeting = rooted.lca_of_set([server] + destinations)
+            detour_weight = sum(
+                self._model.edge_weight(network, u, v)
+                for u, v in _path_edges(rooted.path_between(server, meeting))
+            )
+            selection = tree_weight + server_weight + detour_weight
+            if best is None or selection < best.selection_weight:
+                best = _Candidate(
+                    server=server,
+                    tree=tree,
+                    rooted=rooted,
+                    meeting_point=meeting,
+                    selection_weight=selection,
+                )
+
+        if best is None:
+            if saw_tree_built:
+                reason = RejectReason.TREE_THRESHOLD
+            elif saw_server_pass:
+                reason = RejectReason.DISCONNECTED
+            else:
+                reason = RejectReason.SERVER_THRESHOLD
+            return self._reject(request, reason)
+
+        pseudo = self._build_pseudo_tree(request, best)
+        return self._admit(request, pseudo, best.selection_weight)
+
+    def _build_pseudo_tree(
+        self, request: MulticastRequest, candidate: _Candidate
+    ) -> PseudoMulticastTree:
+        """Translate the winning Steiner tree into routing + real costs."""
+        network = self._network
+        rooted = candidate.rooted
+        source_path = tuple(
+            reversed(rooted.path_between(candidate.server, request.source))
+        )
+        source_path_edges = set(_path_edges(source_path))
+        distribution = tuple(
+            (u, v)
+            for u, v, _ in candidate.tree.edges()
+            if edge_key(u, v) not in source_path_edges
+        )
+        return_path = tuple(
+            rooted.path_between(candidate.server, candidate.meeting_point)
+        )
+        return_paths = (return_path,) if len(return_path) > 1 else ()
+
+        bandwidth_cost = 0.0
+        for u, v, _ in candidate.tree.edges():
+            bandwidth_cost += network.link_unit_cost(u, v) * request.bandwidth
+        for u, v in _path_edges(return_path):
+            bandwidth_cost += network.link_unit_cost(u, v) * request.bandwidth
+        compute_cost = network.chain_cost(
+            candidate.server, request.compute_demand
+        )
+        return PseudoMulticastTree(
+            request=request,
+            servers=(candidate.server,),
+            server_paths={candidate.server: source_path},
+            distribution_edges=distribution,
+            return_paths=return_paths,
+            bandwidth_cost=bandwidth_cost,
+            compute_cost=compute_cost,
+        )
+
+
+def _path_edges(path) -> List[Tuple[Node, Node]]:
+    """Return canonical edge keys along a node path."""
+    return [edge_key(u, v) for u, v in zip(path, path[1:])]

@@ -1,0 +1,239 @@
+"""Pseudo-multicast trees: the routing structure the paper's solvers emit.
+
+A *pseudo-multicast tree* (Section III-B, Fig. 3) is the routing graph of an
+NFV-enabled multicast request.  It is derived from a tree but is generally
+not one: the packet first travels from the source ``s_k`` to one or more
+servers hosting the service chain, and processed packets may be sent *back
+up* part of the tree before being forwarded on to destinations, so some
+physical links carry the stream more than once.
+
+:class:`PseudoMulticastTree` captures exactly what downstream code needs:
+
+- which servers host the chain (≤ K of them),
+- the unprocessed path from the source to each server,
+- the processed-traffic distribution edges,
+- per-link usage multiplicity (for capacity allocation),
+- the total operational cost, split into bandwidth and compute parts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Tuple
+
+from repro.exceptions import ReproError
+from repro.graph.graph import Graph, edge_key
+from repro.network.sdn import SDNetwork
+from repro.workload.request import MulticastRequest
+
+Node = Hashable
+EdgeKey = Tuple[Node, Node]
+
+
+@dataclass(frozen=True)
+class PseudoMulticastTree:
+    """The realized routing of one NFV-enabled multicast request.
+
+    Attributes:
+        request: the request this tree implements.
+        servers: the switches whose servers run the service chain.
+        server_paths: for each server, the node path carrying *unprocessed*
+            traffic from the source to that server.
+        distribution_edges: undirected physical edges carrying *processed*
+            traffic toward destinations (each listed once).
+        return_paths: extra node paths along which processed traffic is sent
+            back up a tree (the ``p_{v,u}`` detours of Algorithm 2); empty
+            for ``Appro_Multi`` trees.
+        bandwidth_cost: total cost of bandwidth usage (``Σ c_e · b_k`` with
+            multiplicity).
+        compute_cost: total cost of hosting the chain (``Σ c_v(SC_k)``).
+    """
+
+    request: MulticastRequest
+    servers: Tuple[Node, ...]
+    server_paths: Mapping[Node, Tuple[Node, ...]]
+    distribution_edges: Tuple[Tuple[Node, Node], ...]
+    return_paths: Tuple[Tuple[Node, ...], ...]
+    bandwidth_cost: float
+    compute_cost: float
+
+    def __post_init__(self) -> None:
+        if not self.servers:
+            raise ReproError("a pseudo-multicast tree needs >= 1 server")
+        missing = [s for s in self.servers if s not in self.server_paths]
+        if missing:
+            raise ReproError(f"servers without source paths: {missing!r}")
+
+    @property
+    def total_cost(self) -> float:
+        """The implementation cost the paper minimizes."""
+        return self.bandwidth_cost + self.compute_cost
+
+    @property
+    def num_servers(self) -> int:
+        """How many servers host the chain (the paper's ``l ≤ K``)."""
+        return len(self.servers)
+
+    # ------------------------------------------------------------------
+    # link usage
+    # ------------------------------------------------------------------
+    def edge_usage(self) -> Dict[EdgeKey, int]:
+        """Return how many times each physical link carries the stream.
+
+        Multiplicity counts one traversal per appearance in a source→server
+        path, one per distribution edge, and one per return-path hop.  This
+        is the amount the admission machinery multiplies by ``b_k`` when
+        reserving bandwidth.
+        """
+        usage: Counter = Counter()
+        for path in self.server_paths.values():
+            for u, v in zip(path, path[1:]):
+                usage[edge_key(u, v)] += 1
+        for u, v in self.distribution_edges:
+            usage[edge_key(u, v)] += 1
+        for path in self.return_paths:
+            for u, v in zip(path, path[1:]):
+                usage[edge_key(u, v)] += 1
+        return dict(usage)
+
+    def touched_links(self) -> List[EdgeKey]:
+        """Return every distinct physical link the stream crosses."""
+        return list(self.edge_usage())
+
+    # ------------------------------------------------------------------
+    # controller integration
+    # ------------------------------------------------------------------
+    def routing_hops(self) -> List[Tuple[Node, Node]]:
+        """Return directed hops for flow-rule installation.
+
+        Source→server paths are directed away from the source; return paths
+        away from the server; distribution edges are oriented by a BFS from
+        the set of injection points (servers and return-path endpoints).
+        """
+        hops: List[Tuple[Node, Node]] = []
+        for path in self.server_paths.values():
+            hops.extend(zip(path, path[1:]))
+        for path in self.return_paths:
+            hops.extend(zip(path, path[1:]))
+
+        # Orient distribution edges away from processed-traffic injection
+        # points using BFS over the undirected distribution structure.
+        if self.distribution_edges:
+            adjacency: Dict[Node, List[Node]] = {}
+            for u, v in self.distribution_edges:
+                adjacency.setdefault(u, []).append(v)
+                adjacency.setdefault(v, []).append(u)
+            roots = [s for s in self.servers if s in adjacency]
+            for path in self.return_paths:
+                if path and path[-1] in adjacency:
+                    roots.append(path[-1])
+            if not roots:  # disconnected oddity: fall back to any endpoint
+                roots = [next(iter(adjacency))]
+            seen = set(roots)
+            frontier = list(dict.fromkeys(roots))
+            while frontier:
+                node = frontier.pop(0)
+                for neighbor in adjacency.get(node, ()):
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        hops.append((node, neighbor))
+                        frontier.append(neighbor)
+        return hops
+
+    def describe(self) -> str:
+        """Return a compact multi-line description for logs and examples."""
+        lines = [
+            f"pseudo-multicast tree for r{self.request.request_id}: "
+            f"cost={self.total_cost:.3f} "
+            f"(bandwidth={self.bandwidth_cost:.3f}, compute={self.compute_cost:.3f})",
+            f"  servers: {sorted(map(repr, self.servers))}",
+        ]
+        for server, path in sorted(self.server_paths.items(), key=lambda i: repr(i[0])):
+            lines.append(f"  source path to {server!r}: {' -> '.join(map(repr, path))}")
+        lines.append(f"  distribution edges: {len(self.distribution_edges)}")
+        if self.return_paths:
+            lines.append(f"  return paths: {len(self.return_paths)}")
+        return "\n".join(lines)
+
+
+def operational_cost(
+    network: SDNetwork, tree: PseudoMulticastTree
+) -> float:
+    """Recompute the tree's operational cost from network unit prices.
+
+    Used by tests to confirm that solver-reported costs match first
+    principles: ``Σ_links usage · b_k · c_e  +  Σ_servers c_v · C_v(SC_k)``.
+    """
+    bandwidth = sum(
+        count * tree.request.bandwidth * network.link_unit_cost(u, v)
+        for (u, v), count in tree.edge_usage().items()
+    )
+    compute = sum(
+        network.chain_cost(server, tree.request.compute_demand)
+        for server in tree.servers
+    )
+    return bandwidth + compute
+
+
+def validate_pseudo_tree(
+    network: SDNetwork, tree: PseudoMulticastTree
+) -> None:
+    """Check the semantic invariants of a pseudo-multicast tree.
+
+    Raises ``AssertionError`` when a guarantee is violated:
+
+    1. every used server really has a server attached;
+    2. every source→server path starts at the source, ends at the server,
+       and walks existing links;
+    3. every destination receives *processed* traffic: it is reachable from
+       some server (or return-path injection point) through distribution
+       edges;
+    4. distribution edges exist in the topology.
+    """
+    request = tree.request
+    for server in tree.servers:
+        if not network.is_server(server):
+            raise AssertionError(f"{server!r} is not a server switch")
+    graph = network.graph
+    for server, path in tree.server_paths.items():
+        if not path or path[0] != request.source or path[-1] != server:
+            raise AssertionError(
+                f"source path for {server!r} malformed: {path!r}"
+            )
+        for u, v in zip(path, path[1:]):
+            if not graph.has_edge(u, v):
+                raise AssertionError(f"path uses missing link ({u!r}, {v!r})")
+    for u, v in tree.distribution_edges:
+        if not graph.has_edge(u, v):
+            raise AssertionError(
+                f"distribution edge ({u!r}, {v!r}) not in topology"
+            )
+    for path in tree.return_paths:
+        for u, v in zip(path, path[1:]):
+            if not graph.has_edge(u, v):
+                raise AssertionError(
+                    f"return path uses missing link ({u!r}, {v!r})"
+                )
+
+    # processed traffic flood: servers emit processed packets, and every
+    # node on a return path sees them pass by
+    processed = Graph()
+    for u, v in tree.distribution_edges:
+        processed.add_edge(u, v, 1.0)
+    sources = set(tree.servers)
+    for path in tree.return_paths:
+        sources.update(path)
+    reachable = set(sources)
+    frontier = [node for node in sources if processed.has_node(node)]
+    while frontier:
+        node = frontier.pop()
+        for neighbor in processed.neighbors(node):
+            if neighbor not in reachable:
+                reachable.add(neighbor)
+                frontier.append(neighbor)
+    unreached = [d for d in request.destinations if d not in reachable]
+    if unreached:
+        raise AssertionError(
+            f"destinations never receive processed traffic: {unreached!r}"
+        )

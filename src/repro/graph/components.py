@@ -1,0 +1,83 @@
+"""Connectivity queries: BFS reachability and connected components.
+
+``Appro_Multi_Cap`` must reject a request when, after pruning exhausted
+resources, no connected component contains the source, every destination, and
+at least one candidate server (Section IV-C of the paper).  These helpers
+answer that question without running a full shortest-path computation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Set
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.graph import Graph, Node
+
+
+def bfs_reachable(graph: Graph, source: Node) -> Set[Node]:
+    """Return the set of nodes reachable from ``source`` (including it)."""
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    seen = {source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return seen
+
+
+def connected_components(graph: Graph) -> List[Set[Node]]:
+    """Return the connected components of ``graph`` as a list of node sets."""
+    remaining = set(graph.nodes())
+    components: List[Set[Node]] = []
+    while remaining:
+        start = next(iter(remaining))
+        component = bfs_reachable(graph, start)
+        components.append(component)
+        remaining -= component
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Return whether the graph is connected (vacuously true when empty)."""
+    if graph.num_nodes == 0:
+        return True
+    start = next(iter(graph.nodes()))
+    return len(bfs_reachable(graph, start)) == graph.num_nodes
+
+
+def same_component(graph: Graph, nodes: Iterable[Node]) -> bool:
+    """Return whether all ``nodes`` lie in one connected component.
+
+    Nodes absent from the graph make the answer ``False`` (they were pruned,
+    so they cannot be reached), which is the semantics the capacitated solver
+    needs.
+    """
+    wanted = list(nodes)
+    if not wanted:
+        return True
+    first = wanted[0]
+    if not graph.has_node(first):
+        return False
+    if any(not graph.has_node(node) for node in wanted[1:]):
+        return False
+    reachable = bfs_reachable(graph, first)
+    return all(node in reachable for node in wanted[1:])
+
+
+def component_containing(graph: Graph, node: Node) -> Set[Node]:
+    """Return the connected component containing ``node``."""
+    return bfs_reachable(graph, node)
+
+
+def component_index(graph: Graph) -> Dict[Node, int]:
+    """Return a map from each node to the index of its component."""
+    index: Dict[Node, int] = {}
+    for i, component in enumerate(connected_components(graph)):
+        for node in component:
+            index[node] = i
+    return index

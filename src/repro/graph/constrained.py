@@ -1,0 +1,191 @@
+"""Bi-criteria (cost, delay) shortest paths.
+
+Substrate for the delay-constrained extension (the paper's related work
+cites Kuo et al., INFOCOM 2016, on NFV routing with end-to-end delay
+bounds).  Two solvers over a graph whose edges carry a *cost* (the regular
+edge weight) and a separate *delay*:
+
+- :func:`larac_path` — the classic LARAC algorithm (Lagrangian Relaxation
+  based Aggregated Cost; Juttner et al., INFOCOM 2001).  Polynomial, returns
+  a feasible path whose cost is at most the optimum of the relaxed problem;
+  in practice within a few percent of optimal.
+- :func:`exact_constrained_path` — pseudo-polynomial dynamic program over
+  ``(node, quantized delay)`` labels.  Exponential-free but resolution
+  bound; used as the test oracle and for small instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph, Node, edge_key
+from repro.graph.heap import IndexedHeap
+from repro.graph.shortest_paths import dijkstra
+
+DelayMap = Dict[Tuple[Node, Node], float]
+
+
+class DelayBoundInfeasibleError(GraphError):
+    """No path meets the delay bound (even the min-delay path exceeds it)."""
+
+
+def path_cost(graph: Graph, path: List[Node]) -> float:
+    """Total edge cost along a node path."""
+    return sum(graph.weight(u, v) for u, v in zip(path, path[1:]))
+
+
+def path_delay(delays: DelayMap, path: List[Node]) -> float:
+    """Total delay along a node path."""
+    return sum(delays[edge_key(u, v)] for u, v in zip(path, path[1:]))
+
+
+def _weighted_shortest(
+    graph: Graph,
+    delays: DelayMap,
+    source: Node,
+    target: Node,
+    lam: float,
+) -> List[Node]:
+    """Shortest path under the aggregated weight ``cost + λ · delay``."""
+    aggregated = Graph()
+    for node in graph.nodes():
+        aggregated.add_node(node)
+    for u, v, cost in graph.edges():
+        aggregated.add_edge(u, v, cost + lam * delays[edge_key(u, v)])
+    tree = dijkstra(aggregated, source, targets={target})
+    return tree.path_to(target)
+
+
+def larac_path(
+    graph: Graph,
+    delays: DelayMap,
+    source: Node,
+    target: Node,
+    max_delay: float,
+    max_iterations: int = 32,
+) -> List[Node]:
+    """Cheapest path from ``source`` to ``target`` with delay ≤ ``max_delay``.
+
+    Implements LARAC: binary search on the Lagrange multiplier λ of the
+    delay constraint, alternating between the cheapest-but-late and
+    feasible-but-expensive paths until the aggregated costs coincide.
+
+    Raises:
+        DelayBoundInfeasibleError: if even the minimum-delay path violates
+            the bound.
+        DisconnectedGraphError: if target is unreachable.
+    """
+    cheap = _weighted_shortest(graph, delays, source, target, 0.0)
+    if path_delay(delays, cheap) <= max_delay + 1e-12:
+        return cheap
+
+    # min-delay path: feasibility check
+    delay_graph = Graph()
+    for node in graph.nodes():
+        delay_graph.add_node(node)
+    for u, v, _ in graph.edges():
+        delay_graph.add_edge(u, v, delays[edge_key(u, v)])
+    fastest = dijkstra(delay_graph, source, targets={target}).path_to(target)
+    if path_delay(delays, fastest) > max_delay + 1e-12:
+        raise DelayBoundInfeasibleError(
+            f"minimum possible delay "
+            f"{path_delay(delays, fastest):.3f} exceeds bound {max_delay:.3f}"
+        )
+
+    feasible = fastest
+    for _ in range(max_iterations):
+        c_cheap, d_cheap = path_cost(graph, cheap), path_delay(delays, cheap)
+        c_feas, d_feas = path_cost(graph, feasible), path_delay(delays, feasible)
+        denominator = d_cheap - d_feas
+        if denominator <= 1e-12:
+            break
+        lam = (c_feas - c_cheap) / denominator
+        candidate = _weighted_shortest(graph, delays, source, target, lam)
+        c_cand = path_cost(graph, candidate)
+        d_cand = path_delay(delays, candidate)
+        aggregated_candidate = c_cand + lam * d_cand
+        aggregated_cheap = c_cheap + lam * d_cheap
+        if abs(aggregated_candidate - aggregated_cheap) < 1e-12:
+            break
+        if d_cand <= max_delay + 1e-12:
+            feasible = candidate
+        else:
+            cheap = candidate
+    return feasible
+
+
+def exact_constrained_path(
+    graph: Graph,
+    delays: DelayMap,
+    source: Node,
+    target: Node,
+    max_delay: float,
+    resolution: int = 200,
+) -> List[Node]:
+    """Optimal delay-bounded path via a quantized-delay dynamic program.
+
+    Delays are quantized onto ``resolution`` buckets of ``max_delay``
+    (rounded *up*, so the returned path always satisfies the true bound;
+    quantization can only forbid borderline paths, never admit violating
+    ones).  Complexity ``O(resolution · (|E| + |V| log |V|))``-ish via a
+    label-setting search over ``(node, used-delay-bucket)`` states.
+
+    Raises:
+        DelayBoundInfeasibleError: if no path fits the bound at this
+            resolution.
+    """
+    if resolution < 1:
+        raise ValueError(f"resolution must be >= 1, got {resolution}")
+    if max_delay <= 0:
+        raise DelayBoundInfeasibleError("non-positive delay bound")
+    unit = max_delay / resolution
+
+    def buckets(u: Node, v: Node) -> int:
+        raw = delays[edge_key(u, v)] / unit
+        return int(raw) if abs(raw - round(raw)) < 1e-9 else int(raw) + 1
+
+    # Dijkstra over (node, delay_bucket) states, minimizing cost.
+    start = (source, 0)
+    best_cost: Dict[Tuple[Node, int], float] = {}
+    parent: Dict[Tuple[Node, int], Optional[Tuple[Node, int]]] = {start: None}
+    heap: IndexedHeap = IndexedHeap()
+    heap.push(start, 0.0)
+    goal: Optional[Tuple[Node, int]] = None
+    while heap:
+        state, cost = heap.pop()
+        best_cost[state] = cost
+        node, used = state
+        if node == target:
+            goal = state
+            break
+        for neighbor, edge_cost in graph.neighbor_items(node):
+            need = used + buckets(node, neighbor)
+            if need > resolution:
+                continue
+            next_state = (neighbor, need)
+            if next_state in best_cost:
+                continue
+            if heap.push_or_decrease(next_state, cost + edge_cost):
+                parent[next_state] = state
+    if goal is None:
+        raise DelayBoundInfeasibleError(
+            f"no path within delay {max_delay:.3f} at resolution {resolution}"
+        )
+    path: List[Node] = []
+    cursor: Optional[Tuple[Node, int]] = goal
+    while cursor is not None:
+        path.append(cursor[0])
+        cursor = parent[cursor]
+    path.reverse()
+    return path
+
+
+def uniform_delays(graph: Graph, delay: float = 1.0) -> DelayMap:
+    """A delay map assigning every edge the same delay (hop count model)."""
+    return {edge_key(u, v): delay for u, v, _ in graph.edges()}
+
+
+def proportional_delays(graph: Graph, factor: float = 1.0) -> DelayMap:
+    """A delay map proportional to edge weight (propagation-distance model)."""
+    return {edge_key(u, v): factor * w for u, v, w in graph.edges()}

@@ -1,0 +1,249 @@
+"""Rooted-tree utilities: parents, depths, LCA, tree paths, leaf pruning.
+
+The online algorithm ``Online_CP`` roots each candidate Steiner tree at the
+request source and needs the lowest common ancestor of the chosen server and
+all destinations to price the "send the processed packet back up" detour of a
+pseudo-multicast tree (Algorithm 2, line 10).  LCA is implemented with binary
+lifting so repeated queries on the same tree are ``O(log n)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.exceptions import NodeNotFoundError, NotATreeError
+from repro.graph.graph import Graph, Node
+
+
+def is_tree(graph: Graph) -> bool:
+    """Return whether ``graph`` is a tree (connected and acyclic).
+
+    The empty graph is not a tree; a single node is.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        return False
+    if graph.num_edges != n - 1:
+        return False
+    # with n-1 edges, connectivity implies acyclicity
+    seen = {next(iter(graph.nodes()))}
+    frontier = deque(seen)
+    while frontier:
+        node = frontier.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return len(seen) == n
+
+
+def prune_leaves(tree: Graph, keep: Iterable[Node]) -> Graph:
+    """Repeatedly strip leaves not in ``keep`` and return the pruned copy.
+
+    This is the final step of the KMB Steiner heuristic: after expanding MST
+    edges into shortest paths, any dangling non-terminal branches must go.
+    """
+    protected = set(keep)
+    pruned = tree.copy()
+    candidates = deque(
+        node
+        for node in pruned.nodes()
+        if pruned.degree(node) <= 1 and node not in protected
+    )
+    while candidates:
+        leaf = candidates.popleft()
+        if not pruned.has_node(leaf) or leaf in protected:
+            continue
+        if pruned.degree(leaf) > 1:
+            continue
+        neighbors = list(pruned.neighbors(leaf))
+        pruned.remove_node(leaf)
+        for neighbor in neighbors:
+            if pruned.degree(neighbor) <= 1 and neighbor not in protected:
+                candidates.append(neighbor)
+    return pruned
+
+
+class RootedTree:
+    """A tree rooted at a designated node with fast LCA queries.
+
+    Args:
+        tree: a graph that must be a tree.
+        root: the node to root it at.
+
+    Raises:
+        NotATreeError: if ``tree`` is not a tree.
+        NodeNotFoundError: if ``root`` is not in ``tree``.
+    """
+
+    def __init__(self, tree: Graph, root: Node) -> None:
+        if not tree.has_node(root):
+            raise NodeNotFoundError(root)
+        if not is_tree(tree):
+            raise NotATreeError(
+                f"graph with {tree.num_nodes} nodes and {tree.num_edges} "
+                "edges is not a tree"
+            )
+        self._tree = tree
+        self._root = root
+        self._parent: Dict[Node, Optional[Node]] = {root: None}
+        self._depth: Dict[Node, int] = {root: 0}
+        order: List[Node] = [root]
+        frontier = deque([root])
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in tree.neighbors(node):
+                if neighbor not in self._depth:
+                    self._parent[neighbor] = node
+                    self._depth[neighbor] = self._depth[node] + 1
+                    order.append(neighbor)
+                    frontier.append(neighbor)
+        self._order = order
+        self._build_lifting_table()
+
+    def _build_lifting_table(self) -> None:
+        max_depth = max(self._depth.values(), default=0)
+        levels = max(1, max_depth.bit_length())
+        up: List[Dict[Node, Optional[Node]]] = [dict(self._parent)]
+        for level in range(1, levels):
+            previous = up[level - 1]
+            current: Dict[Node, Optional[Node]] = {}
+            for node in self._order:
+                halfway = previous[node]
+                current[node] = previous[halfway] if halfway is not None else None
+            up.append(current)
+        self._up = up
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Node:
+        """The root node."""
+        return self._root
+
+    @property
+    def graph(self) -> Graph:
+        """The underlying (unrooted) tree graph."""
+        return self._tree
+
+    def nodes(self) -> Iterable[Node]:
+        """Iterate over nodes in BFS order from the root."""
+        return iter(self._order)
+
+    def parent(self, node: Node) -> Optional[Node]:
+        """Return the parent of ``node`` (``None`` for the root)."""
+        try:
+            return self._parent[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def depth(self, node: Node) -> int:
+        """Return the number of edges between ``node`` and the root."""
+        try:
+            return self._depth[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def children(self, node: Node) -> List[Node]:
+        """Return the children of ``node``."""
+        return [
+            neighbor
+            for neighbor in self._tree.neighbors(node)
+            if self._parent.get(neighbor) == node
+        ]
+
+    def subtree_nodes(self, node: Node) -> Set[Node]:
+        """Return every node in the subtree rooted at ``node``."""
+        result = {node}
+        frontier = deque([node])
+        while frontier:
+            current = frontier.popleft()
+            for child in self.children(current):
+                result.add(child)
+                frontier.append(child)
+        return result
+
+    # ------------------------------------------------------------------
+    # LCA and paths
+    # ------------------------------------------------------------------
+    def _ancestor(self, node: Node, steps: int) -> Node:
+        level = 0
+        while steps:
+            if steps & 1:
+                lifted = self._up[level][node]
+                assert lifted is not None, "jumped above the root"
+                node = lifted
+            steps >>= 1
+            level += 1
+        return node
+
+    def lca(self, a: Node, b: Node) -> Node:
+        """Return the lowest common ancestor of ``a`` and ``b``."""
+        if a not in self._depth:
+            raise NodeNotFoundError(a)
+        if b not in self._depth:
+            raise NodeNotFoundError(b)
+        if self._depth[a] < self._depth[b]:
+            a, b = b, a
+        a = self._ancestor(a, self._depth[a] - self._depth[b])
+        if a == b:
+            return a
+        for level in range(len(self._up) - 1, -1, -1):
+            ancestor_a = self._up[level][a]
+            ancestor_b = self._up[level][b]
+            if ancestor_a != ancestor_b:
+                assert ancestor_a is not None and ancestor_b is not None
+                a, b = ancestor_a, ancestor_b
+        result = self._parent[a]
+        assert result is not None
+        return result
+
+    def lca_of_set(self, nodes: Sequence[Node]) -> Node:
+        """Return the LCA of a non-empty set of nodes.
+
+        Mirrors the paper's ``LCA(x1, …, xn) = LCA(LCA(x1, …, x(n-1)), xn)``.
+        """
+        if not nodes:
+            raise ValueError("lca_of_set needs at least one node")
+        result = nodes[0]
+        for node in nodes[1:]:
+            result = self.lca(result, node)
+        return result
+
+    def path_to_ancestor(self, node: Node, ancestor: Node) -> List[Node]:
+        """Return the path ``[node, ..., ancestor]`` walking up the tree.
+
+        Raises:
+            ValueError: if ``ancestor`` is not actually an ancestor of ``node``.
+        """
+        path = [node]
+        current = node
+        while current != ancestor:
+            parent = self._parent.get(current)
+            if parent is None:
+                raise ValueError(f"{ancestor!r} is not an ancestor of {node!r}")
+            current = parent
+            path.append(current)
+        return path
+
+    def path_between(self, a: Node, b: Node) -> List[Node]:
+        """Return the unique tree path from ``a`` to ``b``."""
+        meet = self.lca(a, b)
+        up_leg = self.path_to_ancestor(a, meet)
+        down_leg = self.path_to_ancestor(b, meet)
+        return up_leg + down_leg[-2::-1]
+
+    def path_weight(self, a: Node, b: Node) -> float:
+        """Return the weight of the unique tree path from ``a`` to ``b``."""
+        path = self.path_between(a, b)
+        return sum(
+            self._tree.weight(u, v) for u, v in zip(path, path[1:])
+        )
+
+    def on_path_to_root(self, node: Node, query: Node) -> bool:
+        """Return whether ``query`` lies on the path from ``node`` to the root."""
+        if query not in self._depth:
+            raise NodeNotFoundError(query)
+        return self.lca(node, query) == query

@@ -1,0 +1,91 @@
+"""Disjoint-set (union–find) with path compression and union by rank.
+
+Used by Kruskal's MST and by connectivity pre-checks in the capacitated
+solvers, where the question "do the source, a server, and all destinations sit
+in one component of the pruned network?" is asked once per request.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Set
+
+Item = Hashable
+
+
+class DisjointSet:
+    """A disjoint-set forest over arbitrary hashable items.
+
+    Items are added lazily: ``find`` on an unseen item creates a fresh
+    singleton set, which matches how Kruskal streams edges.
+
+    >>> ds = DisjointSet()
+    >>> ds.union("a", "b")
+    True
+    >>> ds.connected("a", "b")
+    True
+    >>> ds.union("a", "b")
+    False
+    """
+
+    __slots__ = ("_parent", "_rank", "_count")
+
+    def __init__(self, items: Iterable[Item] = ()) -> None:
+        self._parent: Dict[Item, Item] = {}
+        self._rank: Dict[Item, int] = {}
+        self._count = 0
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Item) -> None:
+        """Register ``item`` as its own singleton set (no-op if present)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+            self._count += 1
+
+    def find(self, item: Item) -> Item:
+        """Return the canonical representative of the set containing ``item``."""
+        self.add(item)
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:  # path compression
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: Item, b: Item) -> bool:
+        """Merge the sets of ``a`` and ``b``; return ``True`` if they differed."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        self._count -= 1
+        return True
+
+    def connected(self, a: Item, b: Item) -> bool:
+        """Return whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    @property
+    def num_sets(self) -> int:
+        """The current number of disjoint sets."""
+        return self._count
+
+    def members(self, item: Item) -> Set[Item]:
+        """Return the full membership of the set containing ``item``.
+
+        ``O(n)``; intended for assertions and tests, not hot paths.
+        """
+        root = self.find(item)
+        return {other for other in self._parent if self.find(other) == root}
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._parent)
+
+    def __len__(self) -> int:
+        return len(self._parent)

@@ -1,0 +1,121 @@
+"""Transactional resource allocation with commit/rollback.
+
+Admitting a multicast request touches many links and one or more servers.  If
+any single allocation fails mid-way (a capacity miscount, a bug in a routing
+algorithm would be caught here too) the network must not be left with a
+half-reserved tree.  :class:`AllocationTransaction` records every reservation
+and undoes all of them unless the caller commits — the classic unit-of-work
+pattern, also usable as a context manager::
+
+    with AllocationTransaction(network) as txn:
+        for u, v in tree_edges:
+            txn.allocate_bandwidth(u, v, request.bandwidth)
+        txn.allocate_compute(server, demand)
+        txn.commit()
+    # an exception (or a missing commit()) rolls everything back
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Tuple
+
+from repro.exceptions import AllocationError
+from repro.network.sdn import SDNetwork
+
+Node = Hashable
+
+
+class AllocationTransaction:
+    """A unit of work over an :class:`SDNetwork`'s resources."""
+
+    def __init__(self, network: SDNetwork) -> None:
+        self._network = network
+        self._bandwidth_ops: List[Tuple[Node, Node, float]] = []
+        self._compute_ops: List[Tuple[Node, float]] = []
+        self._committed = False
+        self._rolled_back = False
+
+    # ------------------------------------------------------------------
+    # reservations
+    # ------------------------------------------------------------------
+    def allocate_bandwidth(self, u: Node, v: Node, amount: float) -> None:
+        """Reserve bandwidth on a link as part of this transaction."""
+        self._check_open()
+        self._network.allocate_bandwidth(u, v, amount)
+        self._bandwidth_ops.append((u, v, amount))
+
+    def allocate_compute(self, node: Node, amount: float) -> None:
+        """Reserve compute on a server as part of this transaction."""
+        self._check_open()
+        self._network.allocate_compute(node, amount)
+        self._compute_ops.append((node, amount))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_open(self) -> bool:
+        """Whether the transaction can still accept reservations."""
+        return not (self._committed or self._rolled_back)
+
+    def commit(self) -> None:
+        """Make every reservation permanent."""
+        self._check_open()
+        self._committed = True
+
+    def rollback(self) -> None:
+        """Undo every reservation made so far (idempotent after commit-less exit)."""
+        if self._committed:
+            raise AllocationError("cannot roll back a committed transaction")
+        if self._rolled_back:
+            return
+        # release in reverse order for symmetry (order does not matter
+        # functionally, but it keeps failure traces readable)
+        for u, v, amount in reversed(self._bandwidth_ops):
+            self._network.release_bandwidth(u, v, amount)
+        for node, amount in reversed(self._compute_ops):
+            self._network.release_compute(node, amount)
+        self._bandwidth_ops.clear()
+        self._compute_ops.clear()
+        self._rolled_back = True
+
+    def _check_open(self) -> None:
+        if self._committed:
+            raise AllocationError("transaction already committed")
+        if self._rolled_back:
+            raise AllocationError("transaction already rolled back")
+
+    # ------------------------------------------------------------------
+    # context-manager protocol
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "AllocationTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._committed and not self._rolled_back:
+            self.rollback()
+        return False  # never swallow exceptions
+
+    # ------------------------------------------------------------------
+    # inspection (for the release path of a departing request)
+    # ------------------------------------------------------------------
+    @property
+    def bandwidth_reservations(self) -> List[Tuple[Node, Node, float]]:
+        """The committed ``(u, v, amount)`` bandwidth reservations."""
+        return list(self._bandwidth_ops)
+
+    @property
+    def compute_reservations(self) -> List[Tuple[Node, float]]:
+        """The committed ``(server, amount)`` compute reservations."""
+        return list(self._compute_ops)
+
+    def release_all(self) -> None:
+        """Release a *committed* transaction's resources (request departure)."""
+        if not self._committed:
+            raise AllocationError("can only release a committed transaction")
+        for u, v, amount in reversed(self._bandwidth_ops):
+            self._network.release_bandwidth(u, v, amount)
+        for node, amount in reversed(self._compute_ops):
+            self._network.release_compute(node, amount)
+        self._bandwidth_ops.clear()
+        self._compute_ops.clear()

@@ -1,0 +1,198 @@
+"""A minimal SDN controller: flow-rule installation for multicast trees.
+
+The paper's system model (Section III-A) has a logically centralized SDN
+controller that, for each admitted request, programs the data plane: every
+switch on the pseudo-multicast tree gets a forwarding rule replicating the
+request's packets to the right output ports (and steering the pre-processed
+stream into the attached server where a VM of the chain runs).  This module
+simulates that control plane faithfully enough that examples and tests can
+inspect per-switch forwarding state, count rule-table occupancy, and verify
+that uninstalling a request leaves no residue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.exceptions import SimulationError
+from repro.graph.graph import edge_key
+
+Node = Hashable
+RequestId = Hashable
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """One forwarding entry on a switch.
+
+    Attributes:
+        switch: the switch holding the rule.
+        request_id: the multicast group the rule matches on.
+        in_port: upstream neighbor the packet arrives from (``None`` at the
+            tree root or at a server re-injection point).
+        out_ports: downstream neighbors the packet is replicated to.
+        to_server: whether the packet is also handed to the local server's VM.
+    """
+
+    switch: Node
+    request_id: RequestId
+    in_port: Optional[Node]
+    out_ports: Tuple[Node, ...]
+    to_server: bool = False
+
+
+@dataclass
+class InstalledRequest:
+    """All data-plane state belonging to one admitted request."""
+
+    request_id: RequestId
+    rules: List[FlowRule] = field(default_factory=list)
+    tree_edges: Set[Tuple[Node, Node]] = field(default_factory=set)
+    servers: Set[Node] = field(default_factory=set)
+
+
+class TableCapacityExceededError(SimulationError):
+    """Installing a tree would overflow a switch's flow table.
+
+    Forwarding-table size is a real SDN constraint (TCAM entries are
+    scarce); the paper's related work [2], [10] studies admission under it.
+    Raised before any rule of the offending request is installed, so the
+    control plane is never left half-programmed.
+    """
+
+    def __init__(self, switch: Node, capacity: int) -> None:
+        super().__init__(
+            f"switch {switch!r} flow table is full ({capacity} rules)"
+        )
+        self.switch = switch
+        self.capacity = capacity
+
+
+class Controller:
+    """Tracks installed flow rules per switch and per request.
+
+    Args:
+        table_capacity: optional uniform per-switch flow-table size; when
+            set, :meth:`install_tree` rejects trees that would overflow any
+            switch (see :class:`TableCapacityExceededError`).
+    """
+
+    def __init__(self, table_capacity: Optional[int] = None) -> None:
+        if table_capacity is not None and table_capacity < 1:
+            raise ValueError(
+                f"table_capacity must be >= 1, got {table_capacity}"
+            )
+        self._by_request: Dict[RequestId, InstalledRequest] = {}
+        self._table_size: Dict[Node, int] = {}
+        self._table_capacity = table_capacity
+
+    @property
+    def table_capacity(self) -> Optional[int]:
+        """The per-switch rule budget (``None`` = unlimited)."""
+        return self._table_capacity
+
+    def can_install(self, switches) -> bool:
+        """Return whether one more rule fits on every listed switch."""
+        if self._table_capacity is None:
+            return True
+        return all(
+            self._table_size.get(switch, 0) < self._table_capacity
+            for switch in set(switches)
+        )
+
+    # ------------------------------------------------------------------
+    # installation
+    # ------------------------------------------------------------------
+    def install_tree(
+        self,
+        request_id: RequestId,
+        routing_edges: List[Tuple[Node, Node]],
+        servers: List[Node],
+    ) -> InstalledRequest:
+        """Install forwarding state for a routed multicast request.
+
+        Args:
+            request_id: identity of the request (must not be installed yet).
+            routing_edges: directed ``(parent, child)`` hops of the routing
+                structure (a pseudo-multicast tree's traversal edges; hops
+                may repeat an undirected link in both directions).
+            servers: switches whose attached server processes the stream.
+
+        Returns:
+            The :class:`InstalledRequest` record.
+        """
+        if request_id in self._by_request:
+            raise SimulationError(f"request {request_id!r} already installed")
+
+        fanout: Dict[Node, List[Node]] = {}
+        upstream: Dict[Node, Node] = {}
+        for parent, child in routing_edges:
+            fanout.setdefault(parent, []).append(child)
+            upstream.setdefault(child, parent)
+
+        if self._table_capacity is not None:
+            for switch in set(fanout) | set(upstream):
+                if self._table_size.get(switch, 0) >= self._table_capacity:
+                    raise TableCapacityExceededError(
+                        switch, self._table_capacity
+                    )
+
+        record = InstalledRequest(request_id=request_id)
+        server_set = set(servers)
+        switches = set(fanout) | set(upstream)
+        for switch in switches:
+            rule = FlowRule(
+                switch=switch,
+                request_id=request_id,
+                in_port=upstream.get(switch),
+                out_ports=tuple(fanout.get(switch, ())),
+                to_server=switch in server_set,
+            )
+            record.rules.append(rule)
+            self._table_size[switch] = self._table_size.get(switch, 0) + 1
+        record.tree_edges = {edge_key(u, v) for u, v in routing_edges}
+        record.servers = server_set
+        self._by_request[request_id] = record
+        return record
+
+    def uninstall(self, request_id: RequestId) -> None:
+        """Remove every rule belonging to ``request_id``."""
+        record = self._by_request.pop(request_id, None)
+        if record is None:
+            raise SimulationError(f"request {request_id!r} is not installed")
+        for rule in record.rules:
+            remaining = self._table_size.get(rule.switch, 0) - 1
+            if remaining <= 0:
+                self._table_size.pop(rule.switch, None)
+            else:
+                self._table_size[rule.switch] = remaining
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def is_installed(self, request_id: RequestId) -> bool:
+        """Return whether ``request_id`` currently has data-plane state."""
+        return request_id in self._by_request
+
+    def rules_for(self, request_id: RequestId) -> List[FlowRule]:
+        """Return the flow rules of an installed request."""
+        try:
+            return list(self._by_request[request_id].rules)
+        except KeyError:
+            raise SimulationError(
+                f"request {request_id!r} is not installed"
+            ) from None
+
+    def table_occupancy(self, switch: Node) -> int:
+        """Return how many rules ``switch`` currently holds."""
+        return self._table_size.get(switch, 0)
+
+    def total_rules(self) -> int:
+        """Return the total number of installed rules across all switches."""
+        return sum(self._table_size.values())
+
+    @property
+    def installed_requests(self) -> List[RequestId]:
+        """The ids of all currently installed requests."""
+        return list(self._by_request)

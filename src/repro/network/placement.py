@@ -1,0 +1,115 @@
+"""VM placement registry: which chain instances run where.
+
+The SDN substrate tracks *how much* compute each server has left;
+operators also need to know *which* VMs occupy it — for billing, migration
+planning, and debugging.  :class:`VMRegistry` keeps the authoritative map
+from requests to their :class:`~repro.nfv.vm.VMInstance` records and keeps
+it consistent with the admission lifecycle:
+
+- :meth:`place` when a request's tree is admitted (one VM per used server);
+- :meth:`evict` when the request departs.
+
+The registry never touches capacities itself (that is
+:class:`~repro.network.allocation.AllocationTransaction`'s job); it is the
+inventory layer on top.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Hashable, List
+
+from repro.exceptions import SimulationError
+from repro.nfv.vm import VMInstance
+
+if TYPE_CHECKING:  # avoid a package-import cycle (core depends on network)
+    from repro.core.pseudo_tree import PseudoMulticastTree
+
+Node = Hashable
+RequestId = Hashable
+
+
+class VMRegistry:
+    """Inventory of live VM instances, indexed by request and by server."""
+
+    def __init__(self) -> None:
+        self._by_request: Dict[RequestId, List[VMInstance]] = {}
+        self._by_server: Dict[Node, List[VMInstance]] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def place(self, tree: "PseudoMulticastTree") -> List[VMInstance]:
+        """Register one VM per server used by an admitted tree."""
+        request = tree.request
+        if request.request_id in self._by_request:
+            raise SimulationError(
+                f"request {request.request_id!r} already has placed VMs"
+            )
+        instances = [
+            VMInstance(
+                server=server,
+                chain=request.chain,
+                compute_mhz=request.compute_demand,
+                request_id=request.request_id,
+            )
+            for server in tree.servers
+        ]
+        self._by_request[request.request_id] = instances
+        for vm in instances:
+            self._by_server.setdefault(vm.server, []).append(vm)
+        return instances
+
+    def evict(self, request_id: RequestId) -> List[VMInstance]:
+        """Remove (and return) every VM belonging to a departing request."""
+        instances = self._by_request.pop(request_id, None)
+        if instances is None:
+            raise SimulationError(
+                f"request {request_id!r} has no placed VMs"
+            )
+        for vm in instances:
+            hosted = self._by_server.get(vm.server, [])
+            hosted.remove(vm)
+            if not hosted:
+                self._by_server.pop(vm.server, None)
+        return instances
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def instances_for(self, request_id: RequestId) -> List[VMInstance]:
+        """The VMs serving one request (empty if none)."""
+        return list(self._by_request.get(request_id, ()))
+
+    def instances_on(self, server: Node) -> List[VMInstance]:
+        """The VMs currently hosted by one server."""
+        return list(self._by_server.get(server, ()))
+
+    def compute_in_use(self, server: Node) -> float:
+        """Total MHz reserved on ``server`` according to the inventory."""
+        return sum(vm.compute_mhz for vm in self._by_server.get(server, ()))
+
+    @property
+    def total_instances(self) -> int:
+        """The number of live VMs across the network."""
+        return sum(len(vms) for vms in self._by_request.values())
+
+    @property
+    def active_requests(self) -> List[RequestId]:
+        """Requests with at least one placed VM."""
+        return list(self._by_request)
+
+    def placement_report(self) -> str:
+        """Human-readable per-server inventory (for examples and logs)."""
+        if not self._by_server:
+            return "no VMs placed"
+        lines = []
+        for server in sorted(self._by_server, key=repr):
+            vms = self._by_server[server]
+            total = sum(vm.compute_mhz for vm in vms)
+            chains = ", ".join(vm.chain.describe() for vm in vms[:4])
+            suffix = ", …" if len(vms) > 4 else ""
+            lines.append(
+                f"{server!r}: {len(vms)} VMs, {total:.0f} MHz "
+                f"[{chains}{suffix}]"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Service chains: ordered sequences of network functions.
+
+A service chain ``SC_k`` (Fig. 2 of the paper, e.g. ⟨NAT, Firewall, IDS⟩)
+must be traversed in order by every packet of request ``r_k`` before the
+packet may reach any destination.  Following the paper's consolidation
+assumption (Section III-B), all functions of a chain are instantiated
+together in one VM on a single server, so the chain's computing demand is the
+sum of its functions' demands.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.exceptions import ServiceChainError
+from repro.nfv.functions import (
+    FUNCTION_CATALOGUE,
+    FunctionType,
+    NetworkFunction,
+    all_function_types,
+)
+
+
+@dataclass(frozen=True)
+class ServiceChain:
+    """An ordered, immutable chain of network functions.
+
+    >>> chain = ServiceChain.of(FunctionType.NAT, FunctionType.FIREWALL)
+    >>> chain.length
+    2
+    >>> round(chain.compute_demand(100.0), 1)
+    85.0
+    """
+
+    functions: Tuple[NetworkFunction, ...]
+
+    def __post_init__(self) -> None:
+        if not self.functions:
+            raise ServiceChainError("a service chain must contain >= 1 function")
+
+    @classmethod
+    def of(cls, *kinds: FunctionType) -> "ServiceChain":
+        """Build a chain from function types using the default catalogue."""
+        try:
+            functions = tuple(FUNCTION_CATALOGUE[kind] for kind in kinds)
+        except KeyError as exc:
+            raise ServiceChainError(f"unknown function type {exc.args[0]!r}")
+        return cls(functions=functions)
+
+    @property
+    def length(self) -> int:
+        """The number of functions in the chain."""
+        return len(self.functions)
+
+    @property
+    def kinds(self) -> Tuple[FunctionType, ...]:
+        """The ordered function types of the chain."""
+        return tuple(function.kind for function in self.functions)
+
+    def compute_demand(self, bandwidth_mbps: float) -> float:
+        """Return ``C_v(SC_k)``: total MHz needed at ``bandwidth_mbps``.
+
+        The paper consolidates the whole chain onto one server, so demands
+        add up.
+        """
+        return sum(
+            function.compute_demand(bandwidth_mbps)
+            for function in self.functions
+        )
+
+    def __iter__(self) -> Iterator[NetworkFunction]:
+        return iter(self.functions)
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    def describe(self) -> str:
+        """Return the chain in the paper's ⟨NAT, Firewall, IDS⟩ notation."""
+        inner = ", ".join(function.name for function in self.functions)
+        return f"<{inner}>"
+
+
+def random_service_chain(
+    rng: random.Random,
+    min_length: int = 1,
+    max_length: int = 3,
+    kinds: Optional[Sequence[FunctionType]] = None,
+) -> ServiceChain:
+    """Draw a random service chain without repeated function types.
+
+    Args:
+        rng: the seeded random source (callers own seeding for determinism).
+        min_length: minimum chain length (inclusive).
+        max_length: maximum chain length (inclusive).
+        kinds: pool of function types to draw from (default: all five).
+
+    Returns:
+        A :class:`ServiceChain` of uniformly random length with functions in
+        a uniformly random order.
+    """
+    pool = list(kinds) if kinds is not None else all_function_types()
+    if not 1 <= min_length <= max_length <= len(pool):
+        raise ServiceChainError(
+            f"invalid chain length bounds [{min_length}, {max_length}] "
+            f"for a pool of {len(pool)} functions"
+        )
+    length = rng.randint(min_length, max_length)
+    chosen = rng.sample(pool, length)
+    return ServiceChain.of(*chosen)

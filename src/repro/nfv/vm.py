@@ -1,0 +1,49 @@
+"""VM instances: a service chain consolidated onto a server.
+
+When a request is admitted, the SDN controller instantiates the request's
+service chain as a virtual machine on each chosen server (at most ``K`` of
+them).  :class:`VMInstance` is the record the network substrate keeps so that
+the compute can be released when the request departs or is rolled back.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.nfv.service_chain import ServiceChain
+
+_vm_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class VMInstance:
+    """An instantiated service chain on a particular server.
+
+    Attributes:
+        vm_id: process-unique identifier.
+        server: the switch node whose attached server hosts the VM.
+        chain: the service chain running inside the VM.
+        compute_mhz: MHz reserved for this VM on the server.
+        request_id: the multicast request this VM serves.
+    """
+
+    server: Hashable
+    chain: ServiceChain
+    compute_mhz: float
+    request_id: Hashable
+    vm_id: int = field(default_factory=lambda: next(_vm_ids))
+
+    def __post_init__(self) -> None:
+        if self.compute_mhz <= 0:
+            raise ValueError(
+                f"VM compute reservation must be positive, got {self.compute_mhz}"
+            )
+
+    def describe(self) -> str:
+        """Return a one-line human-readable summary."""
+        return (
+            f"vm#{self.vm_id} on {self.server!r}: {self.chain.describe()} "
+            f"({self.compute_mhz:.0f} MHz, request {self.request_id!r})"
+        )

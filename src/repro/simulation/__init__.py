@@ -1,0 +1,22 @@
+"""Simulation: workload replay engines and result metrics."""
+
+from repro.simulation.engine import (
+    run_offline,
+    run_online,
+    run_online_with_departures,
+    run_sequential_capacitated,
+)
+from repro.simulation.metrics import OfflineRunStats, OnlineRunStats
+from repro.simulation.trace import TraceEvent, TraceRecorder, record_online_run
+
+__all__ = [
+    "run_offline",
+    "run_online",
+    "run_online_with_departures",
+    "run_sequential_capacitated",
+    "OfflineRunStats",
+    "OnlineRunStats",
+    "TraceEvent",
+    "TraceRecorder",
+    "record_online_run",
+]

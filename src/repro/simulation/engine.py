@@ -1,0 +1,200 @@
+"""Drivers that replay request workloads against solvers and networks.
+
+Three run shapes cover every figure in the paper:
+
+- :func:`run_offline` — independent single-request solves on a fixed
+  network (Figs. 5 and 6: the uncapacitated cost/runtime comparisons).
+- :func:`run_sequential_capacitated` — single-request solves that *commit*
+  their resources before the next request arrives (Fig. 7:
+  ``Appro_Multi_Cap`` under load).
+- :func:`run_online` — a true online run driving an
+  :class:`~repro.core.online_base.OnlineAlgorithm` (Figs. 8 and 9), with
+  optional departure events for churn experiments.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.core.admission import try_allocate
+from repro.core.online_base import OnlineAlgorithm, OnlineDecision, RejectReason
+from repro.core.pseudo_tree import PseudoMulticastTree
+from repro.exceptions import InfeasibleRequestError
+from repro.network.controller import Controller, TableCapacityExceededError
+from repro.network.sdn import SDNetwork
+from repro.simulation.metrics import OfflineRunStats, OnlineRunStats
+from repro.workload.arrivals import EventKind, RequestEvent
+from repro.workload.request import MulticastRequest
+
+OfflineSolver = Callable[[SDNetwork, MulticastRequest], PseudoMulticastTree]
+
+
+def _install_admitted(
+    algorithm: OnlineAlgorithm,
+    controller: Controller,
+    decision: OnlineDecision,
+) -> bool:
+    """Program the data plane for an admitted decision.
+
+    If the controller rejects the tree (flow-table capacity), the admission
+    is *evicted*: resources are released and the decision is rewritten as a
+    rejection, modelling control-plane admission control.  Returns whether
+    installation succeeded.
+    """
+    assert decision.tree is not None
+    request = decision.request
+    try:
+        controller.install_tree(
+            request.request_id,
+            decision.tree.routing_hops(),
+            list(decision.tree.servers),
+        )
+        return True
+    except TableCapacityExceededError:
+        algorithm.depart(request.request_id)
+        decision.admitted = False
+        decision.reason = RejectReason.TABLE_CAPACITY
+        decision.tree = None
+        decision.transaction = None
+        return False
+
+
+def run_offline(
+    solver: OfflineSolver,
+    network: SDNetwork,
+    requests: Sequence[MulticastRequest],
+) -> OfflineRunStats:
+    """Solve each request independently (no resource state carries over).
+
+    Matches Figs. 5 and 6, which average the cost and running time of
+    admitting each request on an otherwise idle network.
+    """
+    stats = OfflineRunStats()
+    for request in requests:
+        started = time.perf_counter()
+        try:
+            tree = solver(network, request)
+        except InfeasibleRequestError:
+            stats.infeasible += 1
+            continue
+        finally:
+            elapsed = time.perf_counter() - started
+        stats.solved += 1
+        stats.runtimes.append(elapsed)
+        stats.costs.append(tree.total_cost)
+        stats.servers_used.append(tree.num_servers)
+    return stats
+
+
+def run_sequential_capacitated(
+    solver: OfflineSolver,
+    network: SDNetwork,
+    requests: Sequence[MulticastRequest],
+    controller: Optional[Controller] = None,
+) -> OfflineRunStats:
+    """Admit requests one after another, committing resources (Fig. 7).
+
+    Each solved tree's bandwidth and compute are reserved before the next
+    request is considered; a request whose tree cannot be reserved (or for
+    which the pruned network is infeasible) counts as infeasible.
+    """
+    stats = OfflineRunStats()
+    for request in requests:
+        started = time.perf_counter()
+        try:
+            tree = solver(network, request)
+        except InfeasibleRequestError:
+            stats.infeasible += 1
+            stats.runtimes.append(time.perf_counter() - started)
+            continue
+        elapsed = time.perf_counter() - started
+        transaction = try_allocate(network, tree)
+        if transaction is None:
+            stats.infeasible += 1
+            stats.runtimes.append(elapsed)
+            continue
+        if controller is not None:
+            try:
+                controller.install_tree(
+                    request.request_id, tree.routing_hops(),
+                    list(tree.servers),
+                )
+            except TableCapacityExceededError:
+                transaction.release_all()
+                stats.infeasible += 1
+                stats.runtimes.append(elapsed)
+                continue
+        stats.solved += 1
+        stats.runtimes.append(elapsed)
+        stats.costs.append(tree.total_cost)
+        stats.servers_used.append(tree.num_servers)
+    return stats
+
+
+def run_online(
+    algorithm: OnlineAlgorithm,
+    requests: Sequence[MulticastRequest],
+    controller: Optional[Controller] = None,
+) -> OnlineRunStats:
+    """Drive an online algorithm over an arrival-only request sequence."""
+    stats = OnlineRunStats()
+    network = algorithm.network
+    started = time.perf_counter()
+    for request in requests:
+        decision = algorithm.process(request)
+        if decision.admitted and controller is not None:
+            _install_admitted(algorithm, controller, decision)
+        if decision.admitted:
+            assert decision.tree is not None
+            stats.admitted += 1
+            stats.operational_costs.append(decision.tree.total_cost)
+        else:
+            stats.rejected += 1
+            stats.record_rejection(decision.reason)
+        stats.admitted_timeline.append(stats.admitted)
+    stats.total_runtime = time.perf_counter() - started
+    stats.final_link_utilization = network.mean_link_utilization()
+    stats.final_server_utilization = network.mean_server_utilization()
+    return stats
+
+
+def run_online_with_departures(
+    algorithm: OnlineAlgorithm,
+    events: Iterable[RequestEvent],
+    controller: Optional[Controller] = None,
+) -> OnlineRunStats:
+    """Drive an online algorithm over a timed arrival/departure event list.
+
+    Departures release the resources of previously admitted requests;
+    departures of rejected requests are ignored (they hold nothing).
+    """
+    stats = OnlineRunStats()
+    network = algorithm.network
+    admitted_ids = set()
+    started = time.perf_counter()
+    for event in events:
+        request = event.request
+        if event.kind is EventKind.ARRIVAL:
+            decision = algorithm.process(request)
+            if decision.admitted and controller is not None:
+                _install_admitted(algorithm, controller, decision)
+            if decision.admitted:
+                assert decision.tree is not None
+                admitted_ids.add(request.request_id)
+                stats.admitted += 1
+                stats.operational_costs.append(decision.tree.total_cost)
+            else:
+                stats.rejected += 1
+                stats.record_rejection(decision.reason)
+            stats.admitted_timeline.append(stats.admitted)
+        else:
+            if request.request_id in admitted_ids:
+                algorithm.depart(request.request_id)
+                admitted_ids.discard(request.request_id)
+                if controller is not None:
+                    controller.uninstall(request.request_id)
+    stats.total_runtime = time.perf_counter() - started
+    stats.final_link_utilization = network.mean_link_utilization()
+    stats.final_server_utilization = network.mean_server_utilization()
+    return stats

@@ -1,0 +1,96 @@
+"""Result records for offline and online experiment runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.online_base import RejectReason
+
+
+@dataclass
+class OfflineRunStats:
+    """Aggregates for a batch of single-request solves (Figs. 5–7).
+
+    Attributes:
+        solved: how many requests produced a tree.
+        infeasible: how many requests had no feasible tree (capacitated
+            runs only; always 0 in the uncapacitated figures).
+        costs: per-request operational cost of the returned tree.
+        runtimes: per-request wall-clock solve time in seconds.
+        servers_used: per-request number of servers in the returned tree.
+    """
+
+    solved: int = 0
+    infeasible: int = 0
+    costs: List[float] = field(default_factory=list)
+    runtimes: List[float] = field(default_factory=list)
+    servers_used: List[int] = field(default_factory=list)
+
+    @property
+    def mean_cost(self) -> float:
+        """Average operational cost over solved requests (0 if none)."""
+        return sum(self.costs) / len(self.costs) if self.costs else 0.0
+
+    @property
+    def mean_runtime(self) -> float:
+        """Average per-request solve time in seconds (0 if none)."""
+        return sum(self.runtimes) / len(self.runtimes) if self.runtimes else 0.0
+
+    @property
+    def total_runtime(self) -> float:
+        """Total solve time in seconds."""
+        return sum(self.runtimes)
+
+    @property
+    def mean_servers_used(self) -> float:
+        """Average number of servers per tree (the paper's ``l``)."""
+        if not self.servers_used:
+            return 0.0
+        return sum(self.servers_used) / len(self.servers_used)
+
+
+@dataclass
+class OnlineRunStats:
+    """Aggregates for one online admission run (Figs. 8–9).
+
+    Attributes:
+        admitted: number of admitted requests (the throughput objective).
+        rejected: number of rejected requests.
+        reject_reasons: histogram of rejection causes.
+        operational_costs: cost of each admitted tree.
+        admitted_timeline: cumulative admitted count after each arrival
+            (drives the figures' x-axis sweeps).
+        total_runtime: wall-clock seconds spent deciding.
+        final_link_utilization: mean link utilization at the end of the run.
+        final_server_utilization: mean server utilization at the end.
+    """
+
+    admitted: int = 0
+    rejected: int = 0
+    reject_reasons: Dict[RejectReason, int] = field(default_factory=dict)
+    operational_costs: List[float] = field(default_factory=list)
+    admitted_timeline: List[int] = field(default_factory=list)
+    total_runtime: float = 0.0
+    final_link_utilization: float = 0.0
+    final_server_utilization: float = 0.0
+
+    @property
+    def processed(self) -> int:
+        """Total requests considered."""
+        return self.admitted + self.rejected
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Fraction of requests admitted (0 when nothing processed)."""
+        return self.admitted / self.processed if self.processed else 0.0
+
+    @property
+    def total_operational_cost(self) -> float:
+        """Sum of admitted trees' operational costs."""
+        return sum(self.operational_costs)
+
+    def record_rejection(self, reason: Optional[RejectReason]) -> None:
+        """Bump the histogram for one rejection."""
+        if reason is not None:
+            self.reject_reasons[reason] = self.reject_reasons.get(reason, 0) + 1

@@ -1,0 +1,151 @@
+"""Structured simulation traces: one JSON-serializable event per decision.
+
+Experiments aggregate; debugging and post-hoc analysis need the raw
+sequence.  A :class:`TraceRecorder` passed to :func:`record_online_run`
+captures, per request: the decision, rejection reason, selected servers,
+operational cost, and network utilization *at that instant* — everything a
+notebook needs to reconstruct an admission race without re-running it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from repro.core.online_base import OnlineAlgorithm, OnlineDecision
+from repro.simulation.metrics import OnlineRunStats
+from repro.workload.request import MulticastRequest
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One admission decision with its context snapshot.
+
+    Attributes mirror what an SDN operator's audit log would hold.
+    """
+
+    sequence: int
+    request_id: Hashable
+    source: str
+    num_destinations: int
+    bandwidth: float
+    compute_demand: float
+    admitted: bool
+    reason: Optional[str]
+    servers: List[str]
+    operational_cost: Optional[float]
+    selection_weight: Optional[float]
+    link_utilization: float
+    server_utilization: float
+
+    def to_json(self) -> str:
+        """Serialize to one JSON line."""
+        return json.dumps(asdict(self), sort_keys=True, default=str)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records during an online run."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def record(
+        self, algorithm: OnlineAlgorithm, decision: OnlineDecision
+    ) -> TraceEvent:
+        """Append the event for one decision (network state read *now*)."""
+        request = decision.request
+        network = algorithm.network
+        event = TraceEvent(
+            sequence=len(self._events),
+            request_id=request.request_id,
+            source=str(request.source),
+            num_destinations=request.num_destinations,
+            bandwidth=request.bandwidth,
+            compute_demand=request.compute_demand,
+            admitted=decision.admitted,
+            reason=decision.reason.value if decision.reason else None,
+            servers=(
+                [str(s) for s in decision.tree.servers]
+                if decision.tree is not None
+                else []
+            ),
+            operational_cost=(
+                decision.tree.total_cost if decision.tree is not None else None
+            ),
+            selection_weight=decision.selection_weight,
+            link_utilization=network.mean_link_utilization(),
+            server_utilization=network.mean_server_utilization(),
+        )
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All recorded events, in decision order."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # ------------------------------------------------------------------
+    # analysis conveniences
+    # ------------------------------------------------------------------
+    def admitted_events(self) -> List[TraceEvent]:
+        """Only the admissions."""
+        return [e for e in self._events if e.admitted]
+
+    def rejection_histogram(self) -> Dict[str, int]:
+        """Counts per rejection reason."""
+        histogram: Dict[str, int] = {}
+        for event in self._events:
+            if not event.admitted and event.reason:
+                histogram[event.reason] = histogram.get(event.reason, 0) + 1
+        return histogram
+
+    def utilization_series(self) -> List[float]:
+        """Mean link utilization after each decision (plots saturation)."""
+        return [event.link_utilization for event in self._events]
+
+    def to_jsonl(self) -> str:
+        """The whole trace as JSON Lines."""
+        return "\n".join(event.to_json() for event in self._events)
+
+    def write_jsonl(self, path: str) -> None:
+        """Write the trace to a ``.jsonl`` file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+            if self._events:
+                handle.write("\n")
+
+
+def record_online_run(
+    algorithm: OnlineAlgorithm,
+    requests: Sequence[MulticastRequest],
+    recorder: Optional[TraceRecorder] = None,
+) -> tuple:
+    """Like :func:`repro.simulation.run_online`, but with a full trace.
+
+    Returns ``(stats, recorder)``.
+    """
+    import time
+
+    recorder = recorder if recorder is not None else TraceRecorder()
+    stats = OnlineRunStats()
+    started = time.perf_counter()
+    for request in requests:
+        decision = algorithm.process(request)
+        recorder.record(algorithm, decision)
+        if decision.admitted:
+            assert decision.tree is not None
+            stats.admitted += 1
+            stats.operational_costs.append(decision.tree.total_cost)
+        else:
+            stats.rejected += 1
+            stats.record_rejection(decision.reason)
+        stats.admitted_timeline.append(stats.admitted)
+    stats.total_runtime = time.perf_counter() - started
+    network = algorithm.network
+    stats.final_link_utilization = network.mean_link_utilization()
+    stats.final_server_utilization = network.mean_server_utilization()
+    return stats, recorder

@@ -1,0 +1,48 @@
+"""Topology substrate: synthetic generators and embedded real networks.
+
+Provides everything Section VI of the paper draws topologies from: GT-ITM
+style random graphs (Waxman / transit–stub), the real GÉANT backbone, and
+Rocketfuel-scale ISP stand-ins for AS1755 and AS4755.
+"""
+
+from repro.topology.geant import (
+    GEANT_EDGES,
+    GEANT_POSITIONS,
+    GEANT_SERVER_CITIES,
+    geant_graph,
+    geant_servers,
+)
+from repro.topology.random_graphs import (
+    Coordinates,
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    gt_itm_flat,
+    transit_stub_graph,
+    waxman_graph,
+)
+from repro.topology.rocketfuel import (
+    ISP_PROFILES,
+    ISPProfile,
+    rocketfuel_graph,
+    rocketfuel_servers,
+)
+
+__all__ = [
+    "Coordinates",
+    "waxman_graph",
+    "gt_itm_flat",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "transit_stub_graph",
+    "grid_graph",
+    "geant_graph",
+    "geant_servers",
+    "GEANT_EDGES",
+    "GEANT_POSITIONS",
+    "GEANT_SERVER_CITIES",
+    "ISPProfile",
+    "ISP_PROFILES",
+    "rocketfuel_graph",
+    "rocketfuel_servers",
+]

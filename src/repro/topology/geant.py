@@ -1,0 +1,184 @@
+"""The GÉANT pan-European research network topology.
+
+The paper evaluates on the real GÉANT topology [5] with nine server locations
+as configured in Gushchin et al. [7].  This module embeds a 40-node,
+61-edge approximation of the GÉANT (2012) backbone: node set and adjacency
+follow the public Topology Zoo map of the network, with link weights derived
+from great-circle distances between the POP cities (rescaled into the
+library's standard ``[1, 10]`` cost band).  Where the exact fibre routes
+differ from this reconstruction, only edge weights shift slightly; the
+algorithms consume nothing but the weighted graph.
+
+The nine default server locations are the highest-degree POPs, matching the
+"consolidated middlebox" placement spirit of [7].
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.graph.graph import Graph
+
+#: City -> (latitude, longitude) for every GÉANT point of presence.
+GEANT_POSITIONS: Dict[str, Tuple[float, float]] = {
+    "Amsterdam": (52.37, 4.90),
+    "Athens": (37.98, 23.73),
+    "Belgrade": (44.79, 20.45),
+    "Bratislava": (48.15, 17.11),
+    "Brussels": (50.85, 4.35),
+    "Bucharest": (44.43, 26.10),
+    "Budapest": (47.50, 19.04),
+    "Copenhagen": (55.68, 12.57),
+    "Dublin": (53.33, -6.25),
+    "Frankfurt": (50.11, 8.68),
+    "Geneva": (46.20, 6.14),
+    "Hamburg": (53.55, 9.99),
+    "Helsinki": (60.17, 24.94),
+    "Istanbul": (41.01, 28.98),
+    "Kaunas": (54.90, 23.89),
+    "Kiev": (50.45, 30.52),
+    "Lisbon": (38.72, -9.14),
+    "Ljubljana": (46.05, 14.51),
+    "London": (51.51, -0.13),
+    "Luxembourg": (49.61, 6.13),
+    "Madrid": (40.42, -3.70),
+    "Malta": (35.90, 14.51),
+    "Marseille": (43.30, 5.37),
+    "Milan": (45.46, 9.19),
+    "Moscow": (55.76, 37.62),
+    "Nicosia": (35.19, 33.38),
+    "Oslo": (59.91, 10.75),
+    "Paris": (48.86, 2.35),
+    "Podgorica": (42.44, 19.26),
+    "Prague": (50.09, 14.42),
+    "Reykjavik": (64.15, -21.94),
+    "Riga": (56.95, 24.11),
+    "Sofia": (42.70, 23.32),
+    "Stockholm": (59.33, 18.07),
+    "Tallinn": (59.44, 24.75),
+    "Tel Aviv": (32.07, 34.79),
+    "Vienna": (48.21, 16.37),
+    "Vilnius": (54.69, 25.28),
+    "Zagreb": (45.81, 15.98),
+    "Zurich": (47.37, 8.54),
+}
+
+#: The 61 backbone adjacencies (city-name pairs).
+GEANT_EDGES: List[Tuple[str, str]] = [
+    ("Amsterdam", "Brussels"),
+    ("Amsterdam", "Copenhagen"),
+    ("Amsterdam", "Frankfurt"),
+    ("Amsterdam", "Hamburg"),
+    ("Amsterdam", "London"),
+    ("Athens", "Milan"),
+    ("Athens", "Sofia"),
+    ("Belgrade", "Budapest"),
+    ("Belgrade", "Sofia"),
+    ("Belgrade", "Zagreb"),
+    ("Bratislava", "Budapest"),
+    ("Bratislava", "Vienna"),
+    ("Brussels", "Luxembourg"),
+    ("Brussels", "Paris"),
+    ("Bucharest", "Budapest"),
+    ("Bucharest", "Sofia"),
+    ("Bucharest", "Istanbul"),
+    ("Budapest", "Prague"),
+    ("Budapest", "Vienna"),
+    ("Copenhagen", "Hamburg"),
+    ("Copenhagen", "Oslo"),
+    ("Copenhagen", "Stockholm"),
+    ("Dublin", "London"),
+    ("Dublin", "Reykjavik"),
+    ("Frankfurt", "Geneva"),
+    ("Frankfurt", "Hamburg"),
+    ("Frankfurt", "Luxembourg"),
+    ("Frankfurt", "Paris"),
+    ("Frankfurt", "Prague"),
+    ("Frankfurt", "Vienna"),
+    ("Frankfurt", "Moscow"),
+    ("Geneva", "Madrid"),
+    ("Geneva", "Marseille"),
+    ("Geneva", "Milan"),
+    ("Geneva", "Paris"),
+    ("Geneva", "Zurich"),
+    ("Hamburg", "Kaunas"),
+    ("Helsinki", "Stockholm"),
+    ("Helsinki", "Tallinn"),
+    ("Istanbul", "Nicosia"),
+    ("Kaunas", "Riga"),
+    ("Kaunas", "Vilnius"),
+    ("Kiev", "Moscow"),
+    ("Kiev", "Vienna"),
+    ("Lisbon", "London"),
+    ("Lisbon", "Madrid"),
+    ("Ljubljana", "Vienna"),
+    ("Ljubljana", "Zagreb"),
+    ("London", "Paris"),
+    ("London", "Reykjavik"),
+    ("Luxembourg", "Paris"),
+    ("Madrid", "Marseille"),
+    ("Malta", "Milan"),
+    ("Marseille", "Tel Aviv"),
+    ("Milan", "Vienna"),
+    ("Milan", "Zurich"),
+    ("Nicosia", "Tel Aviv"),
+    ("Oslo", "Stockholm"),
+    ("Podgorica", "Zagreb"),
+    ("Prague", "Vienna"),
+    ("Riga", "Tallinn"),
+]
+
+#: The nine default server POPs (highest-degree backbone hubs).
+GEANT_SERVER_CITIES: List[str] = [
+    "Frankfurt",
+    "Geneva",
+    "Vienna",
+    "Amsterdam",
+    "London",
+    "Paris",
+    "Budapest",
+    "Milan",
+    "Copenhagen",
+]
+
+_EARTH_RADIUS_KM = 6371.0
+_MIN_WEIGHT = 1.0
+_MAX_WEIGHT = 10.0
+
+
+def _haversine_km(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    """Great-circle distance in kilometres between two (lat, lon) points."""
+    lat1, lon1 = map(math.radians, a)
+    lat2, lon2 = map(math.radians, b)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(
+        dlon / 2
+    ) ** 2
+    return 2 * _EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def geant_graph() -> Graph:
+    """Return the GÉANT topology as a weighted :class:`Graph`.
+
+    Edge weights are great-circle distances rescaled into ``[1, 10]`` so that
+    they are commensurate with the random-topology generators.
+    """
+    distances = {
+        (u, v): _haversine_km(GEANT_POSITIONS[u], GEANT_POSITIONS[v])
+        for u, v in GEANT_EDGES
+    }
+    longest = max(distances.values())
+    graph = Graph()
+    for city in GEANT_POSITIONS:
+        graph.add_node(city)
+    for (u, v), km in distances.items():
+        weight = _MIN_WEIGHT + (km / longest) * (_MAX_WEIGHT - _MIN_WEIGHT)
+        graph.add_edge(u, v, weight)
+    return graph
+
+
+def geant_servers() -> List[str]:
+    """Return the nine default server locations for GÉANT."""
+    return list(GEANT_SERVER_CITIES)

@@ -1,0 +1,138 @@
+"""ISP topologies in the style of the Rocketfuel measurement study.
+
+The paper's real-network experiments use ISP maps measured by Rocketfuel [20]:
+AS1755 (Ebone, Europe) and AS4755 (VSNL, India).  The raw Rocketfuel traces
+are not redistributable inside this repository, so this module synthesizes
+deterministic stand-ins that match the published POP-level scale of each AS —
+node count, edge count, and the heavy-tailed degree mix characteristic of
+measured ISP backbones (a small dense core plus a preferential-attachment
+periphery).  Because the paper's algorithms consume only the weighted graph,
+matching scale and degree shape preserves the qualitative behaviour the
+evaluation section reports.  The substitution is recorded in DESIGN.md.
+
+Each AS is generated once per process and cached; generation is seeded by the
+AS number, so every run of every experiment sees the identical topology.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List
+
+from repro.exceptions import TopologyError
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class ISPProfile:
+    """Published POP-level scale of a Rocketfuel-measured AS."""
+
+    asn: int
+    name: str
+    num_nodes: int
+    num_edges: int
+    core_size: int  # size of the densely-meshed backbone core
+    num_servers: int  # NFV locations, following the SIMPLE setup [19]
+
+
+#: POP-level profiles for the two ASes used in the paper's figures.
+ISP_PROFILES: Dict[int, ISPProfile] = {
+    1755: ISPProfile(
+        asn=1755, name="Ebone (EU)", num_nodes=87, num_edges=161,
+        core_size=10, num_servers=9,
+    ),
+    4755: ISPProfile(
+        asn=4755, name="VSNL (India)", num_nodes=41, num_edges=68,
+        core_size=6, num_servers=5,
+    ),
+}
+
+_MIN_WEIGHT = 1.0
+_MAX_WEIGHT = 10.0
+
+
+def _isp_like_graph(profile: ISPProfile) -> Graph:
+    """Synthesize a connected ISP-like graph matching ``profile``'s scale."""
+    n, m = profile.num_nodes, profile.num_edges
+    if m < n - 1:
+        raise TopologyError(
+            f"AS{profile.asn}: {m} edges cannot connect {n} nodes"
+        )
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise TopologyError(f"AS{profile.asn}: {m} edges exceed simple-graph max")
+
+    rng = random.Random(profile.asn * 7919)
+    graph = Graph()
+    for node in range(n):
+        graph.add_node(node)
+
+    # 1. Dense backbone core: each core pair linked with high probability.
+    core = list(range(profile.core_size))
+    for i in core:
+        for j in core:
+            if i < j and rng.random() < 0.55 and graph.num_edges < m:
+                graph.add_edge(i, j, rng.uniform(_MIN_WEIGHT, _MAX_WEIGHT / 2))
+
+    # 2. Periphery: preferential attachment onto the existing graph,
+    #    guaranteeing connectivity (every new node gets >= 1 link).
+    pool: List[int] = []
+    for u, v, _ in graph.edges():
+        pool.extend((u, v))
+    if not pool:
+        graph.add_edge(0, 1, rng.uniform(_MIN_WEIGHT, _MAX_WEIGHT))
+        pool.extend((0, 1))
+    for new in range(profile.core_size, n):
+        target = rng.choice(pool)
+        graph.add_edge(new, target, rng.uniform(_MIN_WEIGHT, _MAX_WEIGHT))
+        pool.extend((new, target))
+
+    # 3. Fill to the exact published edge count with degree-biased extras.
+    guard = 0
+    while graph.num_edges < m:
+        u = rng.choice(pool)
+        v = rng.choice(pool)
+        guard += 1
+        if guard > 100 * m:
+            # fall back to uniform pairs if the pool keeps colliding
+            u = rng.randrange(n)
+            v = rng.randrange(n)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v, rng.uniform(_MIN_WEIGHT, _MAX_WEIGHT))
+    return graph
+
+
+@lru_cache(maxsize=None)
+def rocketfuel_graph(asn: int) -> Graph:
+    """Return the deterministic stand-in topology for ``asn``.
+
+    Supported AS numbers are the keys of :data:`ISP_PROFILES` (1755, 4755).
+    The returned graph is cached; callers that mutate it must ``copy()``.
+    """
+    try:
+        profile = ISP_PROFILES[asn]
+    except KeyError:
+        raise TopologyError(
+            f"unknown AS number {asn}; available: {sorted(ISP_PROFILES)}"
+        ) from None
+    graph = _isp_like_graph(profile)
+    assert graph.num_nodes == profile.num_nodes
+    assert graph.num_edges == profile.num_edges
+    return graph
+
+
+def rocketfuel_servers(asn: int) -> List[int]:
+    """Return the NFV server locations for ``asn`` (highest-degree POPs)."""
+    try:
+        profile = ISP_PROFILES[asn]
+    except KeyError:
+        raise TopologyError(
+            f"unknown AS number {asn}; available: {sorted(ISP_PROFILES)}"
+        ) from None
+    graph = rocketfuel_graph(asn)
+    by_degree = sorted(
+        graph.nodes(), key=lambda node: (-graph.degree(node), node)
+    )
+    return by_degree[: profile.num_servers]

@@ -1,0 +1,33 @@
+"""Workload substrate: requests, generators, and arrival processes."""
+
+from repro.workload.arrivals import (
+    EventKind,
+    RequestEvent,
+    interleave,
+    one_by_one,
+    poisson_process,
+)
+from repro.workload.generator import (
+    DEFAULT_BANDWIDTH_RANGE,
+    DEFAULT_CHAIN_LENGTH_RANGE,
+    DEFAULT_DMAX_RATIO,
+    RequestGenerator,
+    WorkloadConfig,
+    generate_workload,
+)
+from repro.workload.request import MulticastRequest
+
+__all__ = [
+    "MulticastRequest",
+    "RequestGenerator",
+    "WorkloadConfig",
+    "generate_workload",
+    "DEFAULT_BANDWIDTH_RANGE",
+    "DEFAULT_CHAIN_LENGTH_RANGE",
+    "DEFAULT_DMAX_RATIO",
+    "EventKind",
+    "RequestEvent",
+    "one_by_one",
+    "poisson_process",
+    "interleave",
+]

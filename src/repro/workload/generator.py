@@ -1,0 +1,146 @@
+"""Random multicast-request workloads with the paper's parameter ranges.
+
+Section VI-A of the paper: each request's source and destinations are drawn
+uniformly at random; the ratio of the maximum destination count ``D_max`` to
+the network size ``|V|`` lies in ``[0.05, 0.2]``; bandwidth demand is uniform
+in ``[50, 200]`` Mbps; service chains are drawn from the five-function
+catalogue.  The generator is deterministic given its seed so every figure is
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, Iterator, List, Optional
+
+from repro.exceptions import RequestError
+from repro.graph.graph import Graph
+from repro.nfv.service_chain import random_service_chain
+from repro.workload.request import MulticastRequest
+
+Node = Hashable
+
+#: Paper defaults (Section VI-A).  ``D_max/|V|`` is drawn per request from
+#: this range; figures that sweep the ratio pass a fixed float instead.
+DEFAULT_BANDWIDTH_RANGE = (50.0, 200.0)  # Mbps
+DEFAULT_DMAX_RATIO = (0.05, 0.2)
+DEFAULT_CHAIN_LENGTH_RANGE = (1, 3)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Tunable knobs of the request generator.
+
+    Attributes:
+        dmax_ratio: ``D_max / |V|``.  Either a fixed float or a ``(low,
+            high)`` range drawn uniformly per request (the paper's default);
+            each request then draws its destination count uniformly from
+            ``[1, max(1, round(ratio · |V|))]``.
+        bandwidth_range: uniform band for ``b_k`` in Mbps.
+        chain_length_range: inclusive bounds on service-chain length.
+        seed: RNG seed.
+    """
+
+    dmax_ratio: object = DEFAULT_DMAX_RATIO
+    bandwidth_range: tuple = DEFAULT_BANDWIDTH_RANGE
+    chain_length_range: tuple = DEFAULT_CHAIN_LENGTH_RANGE
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        low, high = self.ratio_bounds
+        if not 0 < low <= high <= 1:
+            raise RequestError(f"dmax_ratio must be in (0, 1]: {self.dmax_ratio}")
+        blow, bhigh = self.bandwidth_range
+        if not 0 < blow <= bhigh:
+            raise RequestError(f"bad bandwidth range {self.bandwidth_range}")
+        lo, hi = self.chain_length_range
+        if not 1 <= lo <= hi:
+            raise RequestError(f"bad chain length range {self.chain_length_range}")
+
+    @property
+    def ratio_bounds(self) -> tuple:
+        """The ``(low, high)`` bounds of the destination ratio."""
+        if isinstance(self.dmax_ratio, (int, float)):
+            return (float(self.dmax_ratio), float(self.dmax_ratio))
+        low, high = self.dmax_ratio  # type: ignore[misc]
+        return (float(low), float(high))
+
+
+class RequestGenerator:
+    """Draws i.i.d. multicast requests over a fixed topology.
+
+    >>> from repro.topology import gt_itm_flat
+    >>> gen = RequestGenerator(gt_itm_flat(50, seed=1), WorkloadConfig(seed=7))
+    >>> requests = gen.generate(3)
+    >>> [r.request_id for r in requests]
+    [1, 2, 3]
+    """
+
+    def __init__(self, graph: Graph, config: Optional[WorkloadConfig] = None):
+        if graph.num_nodes < 2:
+            raise RequestError("workloads need at least two switches")
+        self._nodes: List[Node] = sorted(graph.nodes(), key=repr)
+        self._config = config or WorkloadConfig()
+        self._rng = random.Random(self._config.seed)
+        self._next_id = 1
+
+    @property
+    def config(self) -> WorkloadConfig:
+        """The generator's configuration."""
+        return self._config
+
+    def _max_destinations(self) -> int:
+        low, high = self._config.ratio_bounds
+        ratio = low if low == high else self._rng.uniform(low, high)
+        return max(1, round(ratio * len(self._nodes)))
+
+    def next_request(self) -> MulticastRequest:
+        """Draw the next request in the sequence."""
+        rng = self._rng
+        source = rng.choice(self._nodes)
+        dmax = min(self._max_destinations(), len(self._nodes) - 1)
+        count = rng.randint(1, dmax)
+        candidates = [node for node in self._nodes if node != source]
+        destinations = rng.sample(candidates, count)
+        bandwidth = rng.uniform(*self._config.bandwidth_range)
+        lo, hi = self._config.chain_length_range
+        chain = random_service_chain(rng, min_length=lo, max_length=hi)
+        request = MulticastRequest.create(
+            request_id=self._next_id,
+            source=source,
+            destinations=destinations,
+            bandwidth=bandwidth,
+            chain=chain,
+        )
+        self._next_id += 1
+        return request
+
+    def generate(self, count: int) -> List[MulticastRequest]:
+        """Draw ``count`` requests."""
+        if count < 0:
+            raise RequestError(f"cannot generate {count} requests")
+        return [self.next_request() for _ in range(count)]
+
+    def stream(self, count: int) -> Iterator[MulticastRequest]:
+        """Lazily yield ``count`` requests (for long online simulations)."""
+        for _ in range(count):
+            yield self.next_request()
+
+
+def generate_workload(
+    graph: Graph,
+    count: int,
+    dmax_ratio: object = DEFAULT_DMAX_RATIO,
+    seed: int = 0,
+    bandwidth_range: tuple = DEFAULT_BANDWIDTH_RANGE,
+    chain_length_range: tuple = DEFAULT_CHAIN_LENGTH_RANGE,
+) -> List[MulticastRequest]:
+    """One-call convenience wrapper around :class:`RequestGenerator`."""
+    config = WorkloadConfig(
+        dmax_ratio=dmax_ratio,
+        bandwidth_range=bandwidth_range,
+        chain_length_range=chain_length_range,
+        seed=seed,
+    )
+    return RequestGenerator(graph, config).generate(count)

@@ -1,0 +1,83 @@
+"""NFV-enabled multicast requests ``r_k = (s_k, D_k; b_k, SC_k)``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterable
+
+from repro.exceptions import RequestError
+from repro.nfv.service_chain import ServiceChain
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class MulticastRequest:
+    """One NFV-enabled multicast request (Section III-B of the paper).
+
+    Attributes:
+        request_id: sequence number ``k`` (unique within a workload).
+        source: the source switch ``s_k``.
+        destinations: the terminal set ``D_k`` (non-empty, excludes the
+            source).
+        bandwidth: demanded bandwidth ``b_k`` in Mbps.
+        chain: the service chain ``SC_k`` every packet must traverse.
+    """
+
+    request_id: int
+    source: Node
+    destinations: FrozenSet[Node]
+    bandwidth: float
+    chain: ServiceChain
+
+    def __post_init__(self) -> None:
+        if not self.destinations:
+            raise RequestError(
+                f"request {self.request_id}: destination set is empty"
+            )
+        if self.source in self.destinations:
+            raise RequestError(
+                f"request {self.request_id}: source {self.source!r} appears "
+                "among its destinations"
+            )
+        if self.bandwidth <= 0:
+            raise RequestError(
+                f"request {self.request_id}: bandwidth must be positive, "
+                f"got {self.bandwidth}"
+            )
+
+    @classmethod
+    def create(
+        cls,
+        request_id: int,
+        source: Node,
+        destinations: Iterable[Node],
+        bandwidth: float,
+        chain: ServiceChain,
+    ) -> "MulticastRequest":
+        """Build a request, freezing the destination set."""
+        return cls(
+            request_id=request_id,
+            source=source,
+            destinations=frozenset(destinations),
+            bandwidth=bandwidth,
+            chain=chain,
+        )
+
+    @property
+    def compute_demand(self) -> float:
+        """``C_v(SC_k)``: MHz required to host this request's chain."""
+        return self.chain.compute_demand(self.bandwidth)
+
+    @property
+    def num_destinations(self) -> int:
+        """``|D_k|``."""
+        return len(self.destinations)
+
+    def describe(self) -> str:
+        """Return a compact human-readable summary."""
+        destinations = ", ".join(sorted(str(d) for d in self.destinations))
+        return (
+            f"r{self.request_id}: {self.source} -> [{destinations}] "
+            f"@{self.bandwidth:g} Mbps, chain {self.chain.describe()}"
+        )

@@ -1,0 +1,55 @@
+"""Unit tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.analysis import FigureResult, render_chart
+
+
+@pytest.fixture
+def panel():
+    result = FigureResult(
+        figure_id="figX",
+        title="Chart",
+        x_label="n",
+        xs=[0.0, 50.0, 100.0],
+    )
+    result.add_series("up", [0.0, 5.0, 10.0])
+    result.add_series("down", [10.0, 5.0, 0.0])
+    return result
+
+
+class TestRenderChart:
+    def test_contains_markers_and_legend(self, panel):
+        text = render_chart(panel)
+        assert "o up" in text
+        assert "x down" in text
+        assert "figX" in text
+        # both extreme y labels present
+        assert "10" in text
+        assert "0" in text
+
+    def test_collision_marker(self, panel):
+        # both series pass through (50, 5): collision renders as '*'
+        text = render_chart(panel)
+        assert "*" in text
+
+    def test_dimension_validation(self, panel):
+        with pytest.raises(ValueError):
+            render_chart(panel, width=4, height=2)
+
+    def test_empty_panel(self):
+        empty = FigureResult(figure_id="e", title="t", x_label="x", xs=[])
+        assert "(no data)" in render_chart(empty)
+
+    def test_flat_series(self):
+        flat = FigureResult(figure_id="f", title="t", x_label="x",
+                            xs=[1.0, 2.0])
+        flat.add_series("const", [5.0, 5.0])
+        text = render_chart(flat)  # zero y-span must not divide by zero
+        assert "const" in text
+
+    def test_canvas_dimensions(self, panel):
+        text = render_chart(panel, width=30, height=8)
+        lines = text.splitlines()
+        # title + 8 canvas rows + axis + x labels + legend
+        assert len(lines) == 1 + 8 + 1 + 1 + 1

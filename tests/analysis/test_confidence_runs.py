@@ -1,0 +1,40 @@
+"""Unit tests for the confidence-interval figure variant."""
+
+import pytest
+
+from repro.analysis import ExperimentProfile, run_fig8_ci
+
+MICRO = ExperimentProfile(
+    name="micro",
+    network_sizes=(30, 40),
+    ratios=(0.1,),
+    offline_requests=3,
+    online_requests=60,
+    request_counts=(30, 60),
+    max_servers=2,
+    base_seed=9,
+)
+
+
+class TestFig8Ci:
+    @pytest.fixture(scope="class")
+    def panel(self):
+        return run_fig8_ci(MICRO, seed_count=2)[0]
+
+    def test_columns(self, panel):
+        labels = [series.label for series in panel.series]
+        assert labels == ["Online_CP", "Online_CP ±", "SP", "SP ±"]
+        assert panel.xs == [30.0, 40.0]
+
+    def test_means_bounded(self, panel):
+        for label in ("Online_CP", "SP"):
+            for value in panel.series_by_label(label).values:
+                assert 0 <= value <= MICRO.online_requests
+
+    def test_ci_nonnegative(self, panel):
+        for label in ("Online_CP ±", "SP ±"):
+            for value in panel.series_by_label(label).values:
+                assert value >= 0.0
+
+    def test_seed_metadata(self, panel):
+        assert panel.metadata["seeds"] == 2

@@ -1,0 +1,66 @@
+"""Unit tests for JSON/CSV export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis import (
+    FigureResult,
+    figure_to_csv,
+    figure_to_dict,
+    results_to_json,
+    write_json,
+)
+
+
+@pytest.fixture
+def panel():
+    result = FigureResult(
+        figure_id="figX",
+        title="Example",
+        x_label="n",
+        xs=[50.0, 100.0],
+        metadata={"profile": "fast", "K": 3, "tuple": (1, 2)},
+    )
+    result.add_series("a", [1.0, 2.0])
+    result.add_series("b", [3.0, 4.0])
+    return result
+
+
+class TestJson:
+    def test_figure_to_dict_roundtrips_values(self, panel):
+        data = figure_to_dict(panel)
+        assert data["figure_id"] == "figX"
+        assert data["xs"] == [50.0, 100.0]
+        assert data["series"][0] == {"label": "a", "values": [1.0, 2.0]}
+        # non-primitive metadata is stringified, not dropped
+        assert data["metadata"]["tuple"] == "(1, 2)"
+
+    def test_results_to_json_is_valid_json(self, panel):
+        text = results_to_json({"figX": [panel]})
+        parsed = json.loads(text)
+        assert parsed["figX"][0]["title"] == "Example"
+
+    def test_write_json(self, panel, tmp_path):
+        target = tmp_path / "results.json"
+        write_json({"figX": [panel]}, str(target))
+        parsed = json.loads(target.read_text())
+        assert "figX" in parsed
+
+
+class TestCsv:
+    def test_csv_structure(self, panel):
+        text = figure_to_csv(panel)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["n", "a", "b"]
+        assert rows[1] == ["50.0", "1.0", "3.0"]
+        assert rows[2] == ["100.0", "2.0", "4.0"]
+
+    def test_empty_panel(self):
+        result = FigureResult(
+            figure_id="empty", title="t", x_label="x", xs=[]
+        )
+        rows = list(csv.reader(io.StringIO(figure_to_csv(result))))
+        assert rows == [["x"]]

@@ -1,0 +1,30 @@
+"""Unit tests for experiment profiles."""
+
+import pytest
+
+from repro.analysis import FAST_PROFILE, PAPER_PROFILE, get_profile
+from repro.exceptions import ExperimentError
+
+
+class TestProfiles:
+    def test_lookup(self):
+        assert get_profile("fast") is FAST_PROFILE
+        assert get_profile("paper") is PAPER_PROFILE
+
+    def test_unknown_raises(self):
+        with pytest.raises(ExperimentError):
+            get_profile("warp-speed")
+
+    def test_paper_profile_matches_paper_sweeps(self):
+        assert PAPER_PROFILE.network_sizes == (50, 100, 150, 200, 250)
+        assert PAPER_PROFILE.online_requests == 300
+        assert PAPER_PROFILE.max_servers == 3
+        assert max(PAPER_PROFILE.request_counts) == 300
+
+    def test_seed_derivation_is_stable_and_distinct(self):
+        a = FAST_PROFILE.seed_for("fig5", 0.1, 50)
+        b = FAST_PROFILE.seed_for("fig5", 0.1, 50)
+        c = FAST_PROFILE.seed_for("fig5", 0.1, 100)
+        assert a == b
+        assert a != c
+        assert 0 <= a < 2**31

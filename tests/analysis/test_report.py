@@ -1,0 +1,52 @@
+"""Unit tests for the report runner and markdown generation."""
+
+import pytest
+
+from repro.analysis import (
+    EXPERIMENTS,
+    ExperimentProfile,
+    build_experiments_markdown,
+    run_all,
+    run_experiment,
+)
+from repro.exceptions import ExperimentError
+
+TINY = ExperimentProfile(
+    name="tiny",
+    network_sizes=(30,),
+    ratios=(0.1,),
+    offline_requests=3,
+    online_requests=40,
+    request_counts=(20, 40),
+    max_servers=2,
+    base_seed=3,
+)
+
+
+class TestRegistry:
+    def test_every_figure_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig5", "fig6", "fig7", "fig8", "fig9", "ablations",
+            "competitive", "fig8ci",
+        }
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99", TINY)
+
+
+class TestRunAll:
+    def test_selected_subset_runs_silently(self):
+        messages = []
+        results = run_all(TINY, names=["fig5"], echo=messages.append)
+        assert set(results) == {"fig5"}
+        assert any("fig5" in m for m in messages)
+
+    def test_markdown_generation(self):
+        results = run_all(TINY, names=["fig5"], echo=None)
+        markdown = build_experiments_markdown(results, TINY)
+        assert "# EXPERIMENTS" in markdown
+        assert "## fig5" in markdown
+        assert "Appro_Multi" in markdown
+        assert "tiny" in markdown
+        assert "Expected shape" in markdown

@@ -1,0 +1,68 @@
+"""Unit tests for DOT export."""
+
+import pytest
+
+from repro.analysis import graph_to_dot, network_to_dot, tree_to_dot, write_dot
+from repro.core import appro_multi
+from repro.network import build_sdn
+from repro.topology import waxman_graph
+from repro.workload import generate_workload
+
+
+@pytest.fixture
+def scenario():
+    graph, _ = waxman_graph(15, alpha=0.5, beta=0.5, seed=2)
+    network = build_sdn(graph, seed=2, server_fraction=0.2)
+    request = generate_workload(graph, 1, dmax_ratio=0.25, seed=3)[0]
+    tree = appro_multi(network, request, max_servers=2)
+    return network, request, tree
+
+
+class TestGraphToDot:
+    def test_structure(self, triangle):
+        dot = graph_to_dot(triangle, name="tri")
+        assert dot.startswith("graph tri {")
+        assert dot.rstrip().endswith("}")
+        assert '"a" -- "b"' in dot
+        assert dot.count("--") == 3
+
+    def test_quotes_special_names(self):
+        from repro.graph import Graph
+
+        g = Graph.from_edges([('we"ird', "ok", 1.0)])
+        dot = graph_to_dot(g)
+        assert r"we\"ird" in dot
+
+
+class TestNetworkToDot:
+    def test_servers_are_boxes(self, scenario):
+        network, _, _ = scenario
+        dot = network_to_dot(network)
+        assert dot.count("shape=box") == len(network.server_nodes)
+
+    def test_tree_highlighting(self, scenario):
+        network, request, tree = scenario
+        dot = network_to_dot(network, tree=tree)
+        assert "doublecircle" in dot  # the source
+        assert dot.count("penwidth=3") == len(tree.touched_links())
+        assert "lightblue" in dot  # chain-hosting server
+
+    def test_every_link_present(self, scenario):
+        network, _, _ = scenario
+        dot = network_to_dot(network)
+        assert dot.count(" -- ") == network.graph.num_edges
+
+
+class TestTreeToDot:
+    def test_directed_hops(self, scenario):
+        network, request, tree = scenario
+        dot = tree_to_dot(network, tree)
+        assert dot.startswith("digraph")
+        assert dot.count(" -> ") == len(tree.routing_hops())
+        assert "doublecircle" in dot
+
+    def test_write(self, scenario, tmp_path):
+        network, _, tree = scenario
+        target = tmp_path / "tree.dot"
+        write_dot(tree_to_dot(network, tree), str(target))
+        assert target.read_text().startswith("digraph")

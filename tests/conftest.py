@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import Graph
+from repro.network import build_sdn
+from repro.nfv import FunctionType, ServiceChain
+from repro.topology import gt_itm_flat, waxman_graph
+from repro.workload import MulticastRequest, generate_workload
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """A weighted triangle: a-b (1), b-c (2), a-c (4)."""
+    return Graph.from_edges([("a", "b", 1.0), ("b", "c", 2.0), ("a", "c", 4.0)])
+
+
+@pytest.fixture
+def line_graph() -> Graph:
+    """A 6-node path with unit weights: n0 - n1 - ... - n5."""
+    graph = Graph()
+    for i in range(5):
+        graph.add_edge(f"n{i}", f"n{i+1}", 1.0)
+    return graph
+
+
+@pytest.fixture
+def small_random_graph() -> Graph:
+    """A connected 20-node Waxman graph (deterministic)."""
+    graph, _ = waxman_graph(20, alpha=0.4, beta=0.4, seed=7)
+    return graph
+
+
+@pytest.fixture
+def small_network():
+    """A provisioned 20-node SDN with 4 servers (deterministic)."""
+    graph, _ = waxman_graph(20, alpha=0.4, beta=0.4, seed=7)
+    return build_sdn(graph, seed=7, server_fraction=0.2)
+
+
+@pytest.fixture
+def medium_network():
+    """A provisioned 50-node GT-ITM network (deterministic)."""
+    graph = gt_itm_flat(50, seed=11)
+    return build_sdn(graph, seed=11)
+
+
+@pytest.fixture
+def sample_chain() -> ServiceChain:
+    """The paper's Fig. 2 chain: ⟨NAT, Firewall, IDS⟩."""
+    return ServiceChain.of(
+        FunctionType.NAT, FunctionType.FIREWALL, FunctionType.IDS
+    )
+
+
+@pytest.fixture
+def sample_request(small_network, sample_chain) -> MulticastRequest:
+    """A hand-built request on the small network."""
+    nodes = sorted(small_network.graph.nodes())
+    source = nodes[0]
+    destinations = [n for n in nodes[1:6]]
+    return MulticastRequest.create(
+        request_id=1,
+        source=source,
+        destinations=destinations,
+        bandwidth=100.0,
+        chain=sample_chain,
+    )
+
+
+@pytest.fixture
+def request_batch(small_network):
+    """Ten generated requests on the small network."""
+    return generate_workload(
+        small_network.graph, count=10, dmax_ratio=0.2, seed=3
+    )
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for tests that need raw randomness."""
+    return random.Random(12345)

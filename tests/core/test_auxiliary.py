@@ -1,0 +1,179 @@
+"""Unit tests for the auxiliary-graph machinery of Appro_Multi."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    VIRTUAL_SOURCE,
+    build_context,
+    evaluate_combination,
+    explicit_auxiliary_graph,
+    iter_combinations,
+    scale_graph,
+)
+from repro.exceptions import InfeasibleRequestError
+from repro.graph import Graph, kmb_steiner_tree, steiner_tree_cost
+from repro.network import build_sdn
+from repro.topology import waxman_graph
+from repro.workload import generate_workload
+
+
+def make_context(network, request):
+    chain_cost = {
+        v: network.chain_cost(v, request.compute_demand)
+        for v in network.server_nodes
+    }
+    return build_context(
+        graph=network.graph,
+        source=request.source,
+        destinations=sorted(request.destinations, key=repr),
+        servers=network.server_nodes,
+        chain_cost=chain_cost,
+        bandwidth=request.bandwidth,
+    )
+
+
+class TestScaleGraph:
+    def test_scaling(self, triangle):
+        scaled = scale_graph(triangle, 10.0)
+        assert scaled.weight("a", "b") == pytest.approx(10.0)
+        assert scaled.num_nodes == triangle.num_nodes
+        # original untouched
+        assert triangle.weight("a", "b") == 1.0
+
+
+class TestBuildContext:
+    def test_virtual_weights(self):
+        graph = Graph.from_edges(
+            [("s", "m", 1.0), ("m", "v", 1.0), ("m", "d", 2.0)]
+        )
+        network = build_sdn(
+            graph, server_nodes=["v"], seed=0, link_cost_scale=1.0
+        )
+        from repro.nfv import FunctionType, ServiceChain
+        from repro.workload import MulticastRequest
+
+        request = MulticastRequest.create(
+            1, "s", ["d"], 10.0, ServiceChain.of(FunctionType.NAT)
+        )
+        ctx = make_context(network, request)
+        chain_cost = network.chain_cost("v", request.compute_demand)
+        # sp(s→v) = (1+1) * 10 bandwidth * ... weights are unit costs * b
+        expected = (graph.weight("s", "m") + graph.weight("m", "v")) * 10.0
+        assert ctx.virtual_weight["v"] == pytest.approx(expected + chain_cost)
+        assert "v" not in ctx.adjacent_servers  # v is 2 hops from s
+
+    def test_unreachable_destination_raises(self):
+        graph = Graph.from_edges([("s", "v", 1.0)])
+        graph.add_node("island")
+        network = build_sdn(graph, server_nodes=["v"], seed=0)
+        from repro.nfv import FunctionType, ServiceChain
+        from repro.workload import MulticastRequest
+
+        request = MulticastRequest.create(
+            1, "s", ["island"], 10.0, ServiceChain.of(FunctionType.NAT)
+        )
+        with pytest.raises(InfeasibleRequestError):
+            make_context(network, request)
+
+    def test_no_reachable_server_raises(self):
+        graph = Graph.from_edges([("s", "d", 1.0), ("v", "x", 1.0)])
+        network = build_sdn(graph, server_nodes=["v"], seed=0)
+        from repro.nfv import FunctionType, ServiceChain
+        from repro.workload import MulticastRequest
+
+        request = MulticastRequest.create(
+            1, "s", ["d"], 10.0, ServiceChain.of(FunctionType.NAT)
+        )
+        with pytest.raises(InfeasibleRequestError):
+            make_context(network, request)
+
+
+class TestIterCombinations:
+    def test_counts_match_binomials(self):
+        servers = list("abcde")
+        combos = list(iter_combinations(servers, 3))
+        expected = math.comb(5, 1) + math.comb(5, 2) + math.comb(5, 3)
+        assert len(combos) == expected
+        assert all(1 <= len(c) <= 3 for c in combos)
+        assert len(set(combos)) == len(combos)
+
+    def test_k_larger_than_pool(self):
+        combos = list(iter_combinations(["a", "b"], 5))
+        assert len(combos) == 3  # {a}, {b}, {a,b}
+
+
+class TestExplicitAuxiliaryGraph:
+    def test_structure(self):
+        graph = Graph.from_edges(
+            [("s", "v1", 1.0), ("s", "m", 1.0), ("m", "v2", 1.0), ("m", "d", 1.0)]
+        )
+        network = build_sdn(
+            graph, server_nodes=["v1", "v2"], seed=0, link_cost_scale=1.0
+        )
+        from repro.nfv import FunctionType, ServiceChain
+        from repro.workload import MulticastRequest
+
+        request = MulticastRequest.create(
+            1, "s", ["d"], 1.0, ServiceChain.of(FunctionType.NAT)
+        )
+        ctx = make_context(network, request)
+        aux = explicit_auxiliary_graph(ctx, ("v1", "v2"))
+        assert aux.has_edge(VIRTUAL_SOURCE, "v1")
+        assert aux.has_edge(VIRTUAL_SOURCE, "v2")
+        # zero-cost rule: v1 is adjacent to the source and in the combination
+        assert aux.weight("s", "v1") == 0.0
+        # non-member edges are unchanged
+        assert aux.weight("s", "m") == pytest.approx(1.0)
+
+    def test_zero_rule_only_for_members(self):
+        graph = Graph.from_edges(
+            [("s", "v1", 1.0), ("s", "v2", 1.0), ("v1", "d", 1.0), ("v2", "d", 1.0)]
+        )
+        network = build_sdn(
+            graph, server_nodes=["v1", "v2"], seed=0, link_cost_scale=1.0
+        )
+        from repro.nfv import FunctionType, ServiceChain
+        from repro.workload import MulticastRequest
+
+        request = MulticastRequest.create(
+            1, "s", ["d"], 1.0, ServiceChain.of(FunctionType.NAT)
+        )
+        ctx = make_context(network, request)
+        aux = explicit_auxiliary_graph(ctx, ("v1",))
+        assert aux.weight("s", "v1") == 0.0
+        assert aux.weight("s", "v2") == pytest.approx(1.0)
+
+
+class TestFastEvaluatorMatchesTextbookKMB:
+    """The analytic closure must reproduce KMB on the explicit graph."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances(self, seed):
+        graph, _ = waxman_graph(22, alpha=0.4, beta=0.4, seed=seed)
+        network = build_sdn(graph, seed=seed, server_fraction=0.25)
+        request = generate_workload(
+            graph, 1, dmax_ratio=0.25, seed=seed + 70
+        )[0]
+        ctx = make_context(network, request)
+        terminals = [VIRTUAL_SOURCE] + list(ctx.destinations)
+        for combination in iter_combinations(ctx.candidate_servers, 2):
+            fast = evaluate_combination(ctx, combination)
+            aux = explicit_auxiliary_graph(ctx, combination)
+            reference = kmb_steiner_tree(aux, terminals)
+            assert fast is not None
+            assert fast.cost == pytest.approx(
+                steiner_tree_cost(reference), rel=1e-9
+            )
+
+    def test_used_servers_subset_of_combination(self):
+        graph, _ = waxman_graph(20, alpha=0.5, beta=0.5, seed=3)
+        network = build_sdn(graph, seed=3, server_fraction=0.25)
+        request = generate_workload(graph, 1, dmax_ratio=0.2, seed=77)[0]
+        ctx = make_context(network, request)
+        for combination in iter_combinations(ctx.candidate_servers, 3):
+            solution = evaluate_combination(ctx, combination)
+            if solution is not None:
+                assert set(solution.used_servers) <= set(combination)
+                assert solution.tree.has_node(VIRTUAL_SOURCE)

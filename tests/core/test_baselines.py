@@ -1,0 +1,162 @@
+"""Unit tests for Alg_One_Server and the SP online heuristic."""
+
+import pytest
+
+from repro.core import (
+    SPOnline,
+    alg_one_server,
+    appro_multi,
+    validate_pseudo_tree,
+)
+from repro.core.online_base import RejectReason
+from repro.exceptions import InfeasibleRequestError
+from repro.graph import Graph, edge_key
+from repro.network import build_sdn
+from repro.nfv import FunctionType, ServiceChain
+from repro.workload import MulticastRequest, generate_workload
+
+
+def simple_chain():
+    return ServiceChain.of(FunctionType.NAT)
+
+
+class TestAlgOneServer:
+    def test_valid_single_server_tree(self, small_network, request_batch):
+        for request in request_batch:
+            tree = alg_one_server(small_network, request)
+            validate_pseudo_tree(small_network, tree)
+            assert tree.num_servers == 1
+
+    def test_round_trip_semantics(self):
+        """The processed stream returns to the source before distribution."""
+        graph = Graph.from_edges(
+            [("s", "v", 1.0), ("s", "d1", 1.0), ("s", "d2", 1.0)]
+        )
+        network = build_sdn(
+            graph, server_nodes=["v"], seed=0, link_cost_scale=1.0,
+            server_unit_cost_range=(0.0001, 0.0001),
+        )
+        request = MulticastRequest.create(
+            1, "s", ["d1", "d2"], 1.0, simple_chain()
+        )
+        tree = alg_one_server(network, request)
+        chain_cost = network.chain_cost("v", request.compute_demand)
+        # s→v (1) + v→s back (1) + s→d1 (1) + s→d2 (1) = 4
+        assert tree.total_cost == pytest.approx(4.0 + chain_cost)
+        usage = tree.edge_usage()
+        assert usage[edge_key("s", "v")] == 2  # round trip
+
+    def test_picks_cheapest_server(self):
+        graph = Graph.from_edges(
+            [("s", "near", 1.0), ("s", "m", 4.0), ("m", "far", 4.0),
+             ("s", "d", 1.0)]
+        )
+        network = build_sdn(
+            graph, server_nodes=["near", "far"], seed=0, link_cost_scale=1.0,
+            server_unit_cost_range=(0.0001, 0.0001),
+        )
+        request = MulticastRequest.create(1, "s", ["d"], 1.0, simple_chain())
+        tree = alg_one_server(network, request)
+        assert tree.servers == ("near",)
+
+    def test_infeasible_when_no_server_reachable(self):
+        graph = Graph.from_edges([("s", "d", 1.0), ("v", "x", 1.0)])
+        network = build_sdn(graph, server_nodes=["v"], seed=0)
+        request = MulticastRequest.create(1, "s", ["d"], 10.0, simple_chain())
+        with pytest.raises(InfeasibleRequestError):
+            alg_one_server(network, request)
+
+    def test_infeasible_when_destination_unreachable(self):
+        graph = Graph.from_edges([("s", "v", 1.0)])
+        graph.add_node("island")
+        network = build_sdn(graph, server_nodes=["v"], seed=0)
+        request = MulticastRequest.create(
+            1, "s", ["island"], 10.0, simple_chain()
+        )
+        with pytest.raises(InfeasibleRequestError):
+            alg_one_server(network, request)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_appro_multi_never_loses_on_average(self, seed):
+        """The paper's headline: the approximation beats the baseline."""
+        from repro.topology import gt_itm_flat
+
+        graph = gt_itm_flat(60, seed=seed)
+        network = build_sdn(graph, seed=seed)
+        requests = generate_workload(graph, 12, dmax_ratio=0.15, seed=seed + 5)
+        appro_total = sum(
+            appro_multi(network, r, max_servers=3).total_cost
+            for r in requests
+        )
+        base_total = sum(
+            alg_one_server(network, r).total_cost for r in requests
+        )
+        assert appro_total < base_total
+
+
+class TestSPOnline:
+    def test_admits_on_idle_network(self, small_network, request_batch):
+        algorithm = SPOnline(small_network)
+        decision = algorithm.process(request_batch[0])
+        assert decision.admitted
+        assert decision.tree is not None
+        validate_pseudo_tree(small_network, decision.tree)
+        assert algorithm.admitted_count == 1
+
+    def test_reserves_resources(self, small_network, request_batch):
+        algorithm = SPOnline(small_network)
+        decision = algorithm.process(request_batch[0])
+        assert decision.admitted
+        used = sum(
+            link.capacity - link.residual for link in small_network.links()
+        )
+        expected = sum(
+            count * request_batch[0].bandwidth
+            for count in decision.tree.edge_usage().values()
+        )
+        assert used == pytest.approx(expected)
+
+    def test_departure_releases_resources(self, small_network, request_batch):
+        algorithm = SPOnline(small_network)
+        request = request_batch[0]
+        algorithm.process(request)
+        algorithm.depart(request.request_id)
+        for link in small_network.links():
+            assert link.residual == pytest.approx(link.capacity)
+        for server in small_network.servers():
+            assert server.residual == pytest.approx(server.capacity)
+
+    def test_rejects_without_feasible_server(self, small_network, request_batch):
+        for node in small_network.server_nodes:
+            state = small_network.server(node)
+            small_network.allocate_compute(node, state.residual)
+        algorithm = SPOnline(small_network)
+        decision = algorithm.process(request_batch[0])
+        assert not decision.admitted
+        assert decision.reason is RejectReason.NO_FEASIBLE_SERVER
+
+    def test_rejects_when_pruned_graph_disconnects(self):
+        graph = Graph.from_edges([("s", "v", 1.0), ("v", "d", 1.0)])
+        network = build_sdn(graph, server_nodes=["v"], seed=0)
+        link = network.link("v", "d")
+        network.allocate_bandwidth("v", "d", link.residual - 1.0)
+        algorithm = SPOnline(network)
+        request = MulticastRequest.create(1, "s", ["d"], 100.0, simple_chain())
+        decision = algorithm.process(request)
+        assert not decision.admitted
+        assert decision.reason is RejectReason.DISCONNECTED
+
+    def test_min_hop_selection(self):
+        """SP is load-oblivious: it takes the fewest-hop server even when a
+        longer route is cheaper in real cost."""
+        graph = Graph.from_edges(
+            [("s", "vcheap", 10.0), ("s", "m", 1.0), ("m", "vfar", 1.0),
+             ("s", "d", 1.0)]
+        )
+        network = build_sdn(
+            graph, server_nodes=["vcheap", "vfar"], seed=0, link_cost_scale=1.0
+        )
+        request = MulticastRequest.create(1, "s", ["d"], 10.0, simple_chain())
+        decision = SPOnline(network).process(request)
+        assert decision.admitted
+        assert decision.tree.servers == ("vcheap",)  # 1 hop beats 2 hops

@@ -1,0 +1,118 @@
+"""Unit tests for the online cost models (Eqs. 1 and 2)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ExponentialCostModel,
+    LinearCostModel,
+    UtilizationCostModel,
+)
+from repro.core.cost_model import TIE_BREAK_SCALE
+
+
+def first_edge(network):
+    return next(iter(network.graph.edges()))[:2]
+
+
+class TestExponentialModel:
+    def test_idle_network_weights_are_zero(self, small_network):
+        model = ExponentialCostModel.for_network(small_network)
+        u, v = first_edge(small_network)
+        assert model.edge_weight(small_network, u, v) == pytest.approx(0.0)
+        server = small_network.server_nodes[0]
+        assert model.node_weight(small_network, server) == pytest.approx(0.0)
+
+    def test_equation_two(self, small_network):
+        """w_e(k) = β^{1 − B_e(k)/B_e} − 1 with β = 2|V|."""
+        model = ExponentialCostModel.for_network(small_network)
+        u, v = first_edge(small_network)
+        link = small_network.link(u, v)
+        small_network.allocate_bandwidth(u, v, 0.5 * link.capacity)
+        beta = 2 * small_network.num_nodes
+        expected = beta**0.5 - 1
+        assert model.edge_weight(small_network, u, v) == pytest.approx(expected)
+
+    def test_equation_one(self, small_network):
+        """c_v(k) = C_v(α^{1 − C_v(k)/C_v} − 1)."""
+        model = ExponentialCostModel.for_network(small_network)
+        server = small_network.server_nodes[0]
+        state = small_network.server(server)
+        small_network.allocate_compute(server, 0.25 * state.capacity)
+        alpha = 2 * small_network.num_nodes
+        expected_weight = alpha**0.25 - 1
+        assert model.node_weight(small_network, server) == pytest.approx(
+            expected_weight
+        )
+        assert model.node_cost(small_network, server) == pytest.approx(
+            state.capacity * expected_weight
+        )
+
+    def test_cost_increases_with_load(self, small_network):
+        model = ExponentialCostModel.for_network(small_network)
+        u, v = first_edge(small_network)
+        weights = []
+        for _ in range(4):
+            weights.append(model.edge_weight(small_network, u, v))
+            small_network.allocate_bandwidth(
+                u, v, 0.2 * small_network.link(u, v).capacity
+            )
+        assert weights == sorted(weights)
+        # convexity: the exponential knee accelerates
+        assert weights[3] - weights[2] > weights[1] - weights[0]
+
+    def test_custom_bases(self, small_network):
+        model = ExponentialCostModel(alpha=4.0, beta=9.0)
+        assert model.alpha(small_network) == 4.0
+        assert model.beta(small_network) == 9.0
+
+    def test_invalid_bases(self):
+        with pytest.raises(ValueError):
+            ExponentialCostModel(alpha=1.0)
+        with pytest.raises(ValueError):
+            ExponentialCostModel(beta=0.5)
+
+
+class TestWeightGraph:
+    def test_prunes_thin_links(self, small_network):
+        model = ExponentialCostModel.for_network(small_network)
+        u, v = first_edge(small_network)
+        capacity = small_network.link(u, v).capacity
+        small_network.allocate_bandwidth(u, v, capacity - 10.0)
+        weighted = model.weight_graph(small_network, min_residual_bandwidth=50.0)
+        assert not weighted.has_edge(u, v)
+        assert weighted.num_nodes == small_network.num_nodes
+
+    def test_tie_break_prefers_cheap_links(self, small_network):
+        model = ExponentialCostModel.for_network(small_network)
+        weighted = model.weight_graph(small_network)
+        for u, v, w in weighted.edges():
+            expected = TIE_BREAK_SCALE * small_network.link_unit_cost(u, v)
+            assert w == pytest.approx(expected)
+            assert w > 0.0  # strictly positive => deterministic Steiner trees
+
+
+class TestLinearModels:
+    def test_static_linear_ignores_load(self, small_network):
+        model = LinearCostModel()
+        u, v = first_edge(small_network)
+        before = model.edge_weight(small_network, u, v)
+        small_network.allocate_bandwidth(
+            u, v, 0.9 * small_network.link(u, v).capacity
+        )
+        assert model.edge_weight(small_network, u, v) == pytest.approx(before)
+
+    def test_utilization_model_tracks_load(self, small_network):
+        model = UtilizationCostModel()
+        u, v = first_edge(small_network)
+        assert model.edge_weight(small_network, u, v) == 0.0
+        small_network.allocate_bandwidth(
+            u, v, 0.5 * small_network.link(u, v).capacity
+        )
+        assert model.edge_weight(small_network, u, v) == pytest.approx(0.5)
+        server = small_network.server_nodes[0]
+        small_network.allocate_compute(
+            server, 0.3 * small_network.server(server).capacity
+        )
+        assert model.node_weight(small_network, server) == pytest.approx(0.3)

@@ -1,0 +1,135 @@
+"""Unit tests for the delay-constrained multicast extension."""
+
+import pytest
+
+from repro.core import (
+    appro_multi,
+    delay_aware_multicast,
+    validate_pseudo_tree,
+)
+from repro.exceptions import InfeasibleRequestError
+from repro.graph import Graph
+from repro.network import build_sdn
+from repro.nfv import FunctionType, ServiceChain
+from repro.workload import MulticastRequest, generate_workload
+
+
+def simple_chain():
+    return ServiceChain.of(FunctionType.NAT)
+
+
+@pytest.fixture
+def sla_network():
+    """Two routes to d: cheap/slow via v_slow and pricey/fast via v_fast.
+
+    s --1/10ms-- v_slow --1/10ms-- d
+    s --5/2ms--- v_fast --5/2ms--- d
+    (edge label: unit-cost / delay; build_sdn maps weight→delay directly)
+    """
+    graph = Graph.from_edges(
+        [
+            ("s", "v_slow", 10.0),
+            ("v_slow", "d", 10.0),
+            ("s", "v_fast", 2.0),
+            ("v_fast", "d", 2.0),
+        ]
+    )
+    network = build_sdn(
+        graph,
+        server_nodes=["v_slow", "v_fast"],
+        seed=0,
+        link_cost_scale=0.001,
+        server_unit_cost_range=(0.0001, 0.0001),
+    )
+    # invert costs so the *slow* route is the cheap one
+    network.link("s", "v_slow").unit_cost = 0.001
+    network.link("v_slow", "d").unit_cost = 0.001
+    network.graph.set_weight("s", "v_slow", 0.001)
+    network.graph.set_weight("v_slow", "d", 0.001)
+    network.link("s", "v_fast").unit_cost = 0.05
+    network.link("v_fast", "d").unit_cost = 0.05
+    network.graph.set_weight("s", "v_fast", 0.05)
+    network.graph.set_weight("v_fast", "d", 0.05)
+    return network
+
+
+class TestSlaRouting:
+    def test_loose_sla_takes_cheap_route(self, sla_network):
+        request = MulticastRequest.create(1, "s", ["d"], 100.0, simple_chain())
+        solution = delay_aware_multicast(sla_network, request, 100.0)
+        assert solution.tree.servers == ("v_slow",)
+        assert solution.worst_delay_ms == pytest.approx(20.0)
+
+    def test_tight_sla_pays_for_speed(self, sla_network):
+        request = MulticastRequest.create(1, "s", ["d"], 100.0, simple_chain())
+        solution = delay_aware_multicast(sla_network, request, 6.0)
+        assert solution.tree.servers == ("v_fast",)
+        assert solution.worst_delay_ms == pytest.approx(4.0)
+
+    def test_impossible_sla_raises(self, sla_network):
+        request = MulticastRequest.create(1, "s", ["d"], 100.0, simple_chain())
+        with pytest.raises(InfeasibleRequestError):
+            delay_aware_multicast(sla_network, request, 1.0)
+
+    def test_parameter_validation(self, sla_network):
+        request = MulticastRequest.create(1, "s", ["d"], 100.0, simple_chain())
+        with pytest.raises(ValueError):
+            delay_aware_multicast(sla_network, request, -5.0)
+        with pytest.raises(ValueError):
+            delay_aware_multicast(
+                sla_network, request, 10.0, budget_splits=(1.5,)
+            )
+
+
+class TestOnRandomNetworks:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.topology import gt_itm_flat
+
+        graph = gt_itm_flat(50, seed=8)
+        network = build_sdn(graph, seed=8)
+        requests = generate_workload(graph, 8, dmax_ratio=0.1, seed=9)
+        return network, requests
+
+    def test_sla_always_honoured(self, setup):
+        network, requests = setup
+        for request in requests:
+            try:
+                solution = delay_aware_multicast(network, request, 30.0)
+            except InfeasibleRequestError:
+                continue
+            assert solution.worst_delay_ms <= 30.0 + 1e-9
+            validate_pseudo_tree(network, solution.tree)
+            for dest, delay in solution.per_destination_delay.items():
+                assert delay <= 30.0 + 1e-9
+                assert dest in request.destinations
+
+    def test_tighter_sla_never_cheaper(self, setup):
+        network, requests = setup
+        for request in requests:
+            try:
+                loose = delay_aware_multicast(network, request, 60.0)
+                tight = delay_aware_multicast(network, request, 20.0)
+            except InfeasibleRequestError:
+                continue
+            assert tight.tree.total_cost >= loose.tree.total_cost - 1e-6
+
+    def test_unconstrained_solver_lower_bounds_cost(self, setup):
+        """The delay-aware tree can't beat Appro_Multi... statistically.
+
+        Per-instance the heuristics differ, so compare batch totals with a
+        small tolerance for heuristic noise.
+        """
+        network, requests = setup
+        constrained_total = 0.0
+        free_total = 0.0
+        for request in requests:
+            try:
+                solution = delay_aware_multicast(network, request, 60.0)
+            except InfeasibleRequestError:
+                continue
+            constrained_total += solution.tree.total_cost
+            free_total += appro_multi(
+                network, request, max_servers=1
+            ).total_cost
+        assert constrained_total >= 0.9 * free_total

@@ -1,0 +1,78 @@
+"""Unit tests for the exact reference solvers."""
+
+import pytest
+
+from repro.core import (
+    alg_one_server,
+    appro_multi,
+    optimal_auxiliary_cost,
+    optimal_single_server_cost,
+)
+from repro.exceptions import InfeasibleRequestError
+from repro.graph import Graph
+from repro.network import build_sdn
+from repro.nfv import FunctionType, ServiceChain
+from repro.topology import waxman_graph
+from repro.workload import MulticastRequest, generate_workload
+
+
+def simple_chain():
+    return ServiceChain.of(FunctionType.NAT)
+
+
+class TestOptimalAuxiliaryCost:
+    def test_line_instance_exact_value(self):
+        graph = Graph.from_edges(
+            [("s", "v", 1.0), ("v", "d", 1.0)]
+        )
+        network = build_sdn(
+            graph, server_nodes=["v"], seed=0, link_cost_scale=1.0,
+            server_unit_cost_range=(0.001, 0.001),
+        )
+        request = MulticastRequest.create(1, "s", ["d"], 1.0, simple_chain())
+        cost, combination = optimal_auxiliary_cost(network, request, 1)
+        chain_cost = network.chain_cost("v", request.compute_demand)
+        assert cost == pytest.approx(2.0 + chain_cost)
+        assert combination == ("v",)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_lower_bounds_appro_multi(self, seed):
+        graph, _ = waxman_graph(16, alpha=0.5, beta=0.5, seed=seed)
+        network = build_sdn(graph, seed=seed, server_fraction=0.25)
+        request = generate_workload(graph, 1, dmax_ratio=0.3, seed=seed + 3)[0]
+        exact, _ = optimal_auxiliary_cost(network, request, 2)
+        heuristic = appro_multi(network, request, max_servers=2).total_cost
+        assert exact <= heuristic + 1e-9
+
+    def test_too_many_destinations_rejected(self, small_network):
+        request = MulticastRequest.create(
+            1,
+            small_network.server_nodes[0],
+            [n for n in small_network.graph.nodes()
+             if n != small_network.server_nodes[0]][:8],
+            10.0,
+            simple_chain(),
+        )
+        with pytest.raises(ValueError):
+            optimal_auxiliary_cost(small_network, request, 1)
+
+
+class TestOptimalSingleServer:
+    def test_lower_bounds_the_baseline(self, small_network):
+        requests = generate_workload(
+            small_network.graph, 5, dmax_ratio=0.2, seed=8
+        )
+        for request in requests:
+            if request.num_destinations > 6:
+                continue
+            exact, server = optimal_single_server_cost(small_network, request)
+            baseline = alg_one_server(small_network, request).total_cost
+            assert exact <= baseline + 1e-9
+            assert small_network.is_server(server)
+
+    def test_infeasible_raises(self):
+        graph = Graph.from_edges([("s", "d", 1.0), ("v", "x", 1.0)])
+        network = build_sdn(graph, server_nodes=["v"], seed=0)
+        request = MulticastRequest.create(1, "s", ["d"], 10.0, simple_chain())
+        with pytest.raises(InfeasibleRequestError):
+            optimal_single_server_cost(network, request)

@@ -1,0 +1,105 @@
+"""Property-based tests over the full solver stack."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    OnlineCP,
+    SPOnline,
+    appro_multi,
+    validate_pseudo_tree,
+)
+from repro.core.cost_model import ExponentialCostModel
+from repro.exceptions import InfeasibleRequestError
+from repro.network import build_sdn
+from repro.nfv import all_function_types, ServiceChain
+from repro.topology import waxman_graph
+from repro.workload import MulticastRequest
+
+
+@st.composite
+def solver_instances(draw):
+    """A provisioned network plus a random well-formed request on it."""
+    seed = draw(st.integers(0, 10_000))
+    graph, _ = waxman_graph(draw(st.integers(8, 24)), alpha=0.45,
+                            beta=0.45, seed=seed)
+    network = build_sdn(graph, seed=seed, server_fraction=0.25)
+    nodes = sorted(graph.nodes())
+    source = draw(st.sampled_from(nodes))
+    others = [n for n in nodes if n != source]
+    count = draw(st.integers(1, min(5, len(others))))
+    destinations = draw(
+        st.lists(st.sampled_from(others), min_size=count, max_size=count,
+                 unique=True)
+    )
+    bandwidth = draw(st.floats(50.0, 200.0, allow_nan=False))
+    kinds = draw(
+        st.lists(st.sampled_from(all_function_types()), min_size=1,
+                 max_size=3, unique=True)
+    )
+    request = MulticastRequest.create(
+        1, source, destinations, bandwidth, ServiceChain.of(*kinds)
+    )
+    return network, request
+
+
+@settings(max_examples=25, deadline=None)
+@given(solver_instances(), st.integers(1, 3))
+def test_appro_multi_always_returns_valid_trees(instance, k):
+    network, request = instance
+    tree = appro_multi(network, request, max_servers=k)
+    validate_pseudo_tree(network, tree)
+    assert 1 <= tree.num_servers <= k
+    assert tree.total_cost > 0
+    # every destination is a node of the routing structure
+    touched = set()
+    for path in tree.server_paths.values():
+        touched.update(path)
+    for u, v in tree.distribution_edges:
+        touched.update((u, v))
+    assert set(request.destinations) <= touched
+
+
+@settings(max_examples=15, deadline=None)
+@given(solver_instances(), st.data())
+def test_online_algorithms_never_overcommit(instance, data):
+    network, _ = instance
+    algorithm_kind = data.draw(st.sampled_from(["cp", "sp"]))
+    if algorithm_kind == "cp":
+        algorithm = OnlineCP(
+            network, cost_model=ExponentialCostModel(alpha=8.0, beta=8.0)
+        )
+    else:
+        algorithm = SPOnline(network)
+    nodes = sorted(network.graph.nodes())
+    for k in range(2, 30):
+        source = data.draw(st.sampled_from(nodes))
+        others = [n for n in nodes if n != source]
+        destination = data.draw(st.sampled_from(others))
+        request = MulticastRequest.create(
+            k, source, [destination],
+            data.draw(st.floats(50.0, 200.0, allow_nan=False)),
+            ServiceChain.of(all_function_types()[k % 5]),
+        )
+        decision = algorithm.process(request)
+        if decision.admitted:
+            validate_pseudo_tree(network, decision.tree)
+    for link in network.links():
+        assert -1e-6 <= link.residual <= link.capacity + 1e-6
+    for server in network.servers():
+        assert -1e-6 <= server.residual <= server.capacity + 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(solver_instances())
+def test_admit_then_depart_is_lossless(instance):
+    network, request = instance
+    algorithm = SPOnline(network)
+    decision = algorithm.process(request)
+    if not decision.admitted:
+        return
+    algorithm.depart(request.request_id)
+    for link in network.links():
+        assert abs(link.residual - link.capacity) < 1e-6
+    for server in network.servers():
+        assert abs(server.residual - server.capacity) < 1e-6

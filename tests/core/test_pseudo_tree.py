@@ -1,0 +1,184 @@
+"""Unit tests for the pseudo-multicast tree structure."""
+
+import pytest
+
+from repro.core import PseudoMulticastTree, operational_cost, validate_pseudo_tree
+from repro.exceptions import ReproError
+from repro.graph import Graph, edge_key
+from repro.network import build_sdn
+from repro.nfv import FunctionType, ServiceChain
+from repro.workload import MulticastRequest
+
+
+@pytest.fixture
+def line_network():
+    """s - a - v - d1, with a - d2 hanging off; v is the server."""
+    graph = Graph.from_edges(
+        [
+            ("s", "a", 2.0),
+            ("a", "v", 2.0),
+            ("v", "d1", 2.0),
+            ("a", "d2", 2.0),
+        ]
+    )
+    return build_sdn(graph, server_nodes=["v"], seed=0, link_cost_scale=1.0)
+
+
+@pytest.fixture
+def line_request():
+    chain = ServiceChain.of(FunctionType.NAT)
+    return MulticastRequest.create(1, "s", ["d1", "d2"], 10.0, chain)
+
+
+def build_tree(network, request):
+    """Hand-built pseudo tree: s→a→v processed, back to a, then to d1/d2."""
+    return PseudoMulticastTree(
+        request=request,
+        servers=("v",),
+        server_paths={"v": ("s", "a", "v")},
+        distribution_edges=(("v", "d1"), ("a", "d2")),
+        return_paths=(("v", "a"),),
+        bandwidth_cost=0.0,  # filled by tests that need it
+        compute_cost=0.0,
+    )
+
+
+class TestStructure:
+    def test_requires_server(self, line_request):
+        with pytest.raises(ReproError):
+            PseudoMulticastTree(
+                request=line_request,
+                servers=(),
+                server_paths={},
+                distribution_edges=(),
+                return_paths=(),
+                bandwidth_cost=0.0,
+                compute_cost=0.0,
+            )
+
+    def test_requires_paths_for_all_servers(self, line_request):
+        with pytest.raises(ReproError):
+            PseudoMulticastTree(
+                request=line_request,
+                servers=("v",),
+                server_paths={},
+                distribution_edges=(),
+                return_paths=(),
+                bandwidth_cost=0.0,
+                compute_cost=0.0,
+            )
+
+    def test_total_cost(self, line_network, line_request):
+        tree = PseudoMulticastTree(
+            request=line_request,
+            servers=("v",),
+            server_paths={"v": ("s", "a", "v")},
+            distribution_edges=(("v", "d1"),),
+            return_paths=(),
+            bandwidth_cost=3.5,
+            compute_cost=1.5,
+        )
+        assert tree.total_cost == pytest.approx(5.0)
+        assert tree.num_servers == 1
+
+
+class TestEdgeUsage:
+    def test_multiplicities(self, line_network, line_request):
+        tree = build_tree(line_network, line_request)
+        usage = tree.edge_usage()
+        # (a,v) carries unprocessed down AND processed back: 2
+        assert usage[edge_key("a", "v")] == 2
+        assert usage[edge_key("s", "a")] == 1
+        assert usage[edge_key("v", "d1")] == 1
+        assert usage[edge_key("a", "d2")] == 1
+
+    def test_touched_links(self, line_network, line_request):
+        tree = build_tree(line_network, line_request)
+        assert len(tree.touched_links()) == 4
+
+
+class TestRoutingHops:
+    def test_hops_cover_all_usage(self, line_network, line_request):
+        tree = build_tree(line_network, line_request)
+        hops = tree.routing_hops()
+        assert ("s", "a") in hops
+        assert ("a", "v") in hops
+        assert ("v", "a") in hops  # return path
+        # distribution oriented away from injection points
+        assert ("v", "d1") in hops
+        assert ("a", "d2") in hops
+
+    def test_describe_mentions_costs(self, line_network, line_request):
+        tree = build_tree(line_network, line_request)
+        assert "pseudo-multicast tree" in tree.describe()
+
+
+class TestValidation:
+    def test_valid_tree_passes(self, line_network, line_request):
+        validate_pseudo_tree(line_network, build_tree(line_network, line_request))
+
+    def test_rejects_non_server(self, line_network, line_request):
+        tree = PseudoMulticastTree(
+            request=line_request,
+            servers=("a",),  # not a server switch
+            server_paths={"a": ("s", "a")},
+            distribution_edges=(("a", "v"), ("v", "d1"), ("a", "d2")),
+            return_paths=(),
+            bandwidth_cost=0.0,
+            compute_cost=0.0,
+        )
+        with pytest.raises(AssertionError):
+            validate_pseudo_tree(line_network, tree)
+
+    def test_rejects_malformed_source_path(self, line_network, line_request):
+        tree = PseudoMulticastTree(
+            request=line_request,
+            servers=("v",),
+            server_paths={"v": ("a", "v")},  # does not start at the source
+            distribution_edges=(("v", "d1"), ("a", "d2")),
+            return_paths=(("v", "a"),),
+            bandwidth_cost=0.0,
+            compute_cost=0.0,
+        )
+        with pytest.raises(AssertionError):
+            validate_pseudo_tree(line_network, tree)
+
+    def test_rejects_unreached_destination(self, line_network, line_request):
+        tree = PseudoMulticastTree(
+            request=line_request,
+            servers=("v",),
+            server_paths={"v": ("s", "a", "v")},
+            distribution_edges=(("v", "d1"),),  # d2 is not served
+            return_paths=(),
+            bandwidth_cost=0.0,
+            compute_cost=0.0,
+        )
+        with pytest.raises(AssertionError):
+            validate_pseudo_tree(line_network, tree)
+
+    def test_rejects_missing_link(self, line_network, line_request):
+        tree = PseudoMulticastTree(
+            request=line_request,
+            servers=("v",),
+            server_paths={"v": ("s", "v")},  # no such link
+            distribution_edges=(("v", "d1"), ("a", "d2"), ("a", "v")),
+            return_paths=(),
+            bandwidth_cost=0.0,
+            compute_cost=0.0,
+        )
+        with pytest.raises(AssertionError):
+            validate_pseudo_tree(line_network, tree)
+
+
+class TestOperationalCost:
+    def test_recomputation_from_first_principles(
+        self, line_network, line_request
+    ):
+        tree = build_tree(line_network, line_request)
+        # link unit costs are 2.0 * 1.0 (scale); usage: s-a:1, a-v:2,
+        # v-d1:1, a-d2:1 => 5 traversals * 2.0 cost * 10 Mbps = 100
+        expected_bandwidth = 5 * 2.0 * 10.0
+        server_cost = line_network.chain_cost("v", line_request.compute_demand)
+        assert operational_cost(line_network, tree) == pytest.approx(
+            expected_bandwidth + server_cost
+        )

@@ -1,0 +1,70 @@
+"""Unit tests for connectivity queries."""
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph import (
+    Graph,
+    bfs_reachable,
+    component_containing,
+    component_index,
+    connected_components,
+    is_connected,
+    same_component,
+)
+
+
+@pytest.fixture
+def two_islands():
+    g = Graph.from_edges(
+        [("a", "b", 1.0), ("b", "c", 1.0), ("x", "y", 1.0)]
+    )
+    g.add_node("lonely")
+    return g
+
+
+class TestReachability:
+    def test_bfs_reachable(self, two_islands):
+        assert bfs_reachable(two_islands, "a") == {"a", "b", "c"}
+        assert bfs_reachable(two_islands, "lonely") == {"lonely"}
+
+    def test_missing_node_raises(self, two_islands):
+        with pytest.raises(NodeNotFoundError):
+            bfs_reachable(two_islands, "zzz")
+
+
+class TestComponents:
+    def test_connected_components(self, two_islands):
+        components = connected_components(two_islands)
+        assert sorted(len(c) for c in components) == [1, 2, 3]
+
+    def test_is_connected(self, two_islands, triangle):
+        assert not is_connected(two_islands)
+        assert is_connected(triangle)
+        assert is_connected(Graph())  # vacuous
+
+    def test_component_containing(self, two_islands):
+        assert component_containing(two_islands, "x") == {"x", "y"}
+
+    def test_component_index_consistency(self, two_islands):
+        index = component_index(two_islands)
+        assert index["a"] == index["b"] == index["c"]
+        assert index["x"] == index["y"]
+        assert index["a"] != index["x"]
+        assert len(set(index.values())) == 3
+
+
+class TestSameComponent:
+    def test_positive(self, two_islands):
+        assert same_component(two_islands, ["a", "c"])
+        assert same_component(two_islands, ["a"])
+        assert same_component(two_islands, [])
+
+    def test_negative(self, two_islands):
+        assert not same_component(two_islands, ["a", "x"])
+        assert not same_component(two_islands, ["a", "lonely"])
+
+    def test_pruned_nodes_are_false(self, two_islands):
+        # nodes absent from the graph (e.g. pruned for lack of capacity)
+        assert not same_component(two_islands, ["a", "ghost"])
+        assert not same_component(two_islands, ["ghost", "a"])

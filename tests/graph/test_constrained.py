@@ -1,0 +1,138 @@
+"""Unit tests for bi-criteria (cost, delay) shortest paths."""
+
+import random
+
+import pytest
+
+from repro.graph import (
+    DelayBoundInfeasibleError,
+    Graph,
+    exact_constrained_path,
+    larac_path,
+    path_delay,
+    proportional_delays,
+    uniform_delays,
+)
+from repro.graph.constrained import path_cost
+from repro.graph.graph import edge_key
+from repro.topology import waxman_graph
+
+
+@pytest.fixture
+def tradeoff_graph():
+    """Two disjoint s→t routes: cheap-but-slow vs fast-but-expensive.
+
+    cheap route: s - c1 - c2 - t   (cost 3, delay 30)
+    fast route:  s - f - t         (cost 10, delay 4)
+    """
+    graph = Graph.from_edges(
+        [
+            ("s", "c1", 1.0),
+            ("c1", "c2", 1.0),
+            ("c2", "t", 1.0),
+            ("s", "f", 5.0),
+            ("f", "t", 5.0),
+        ]
+    )
+    delays = {
+        edge_key("s", "c1"): 10.0,
+        edge_key("c1", "c2"): 10.0,
+        edge_key("c2", "t"): 10.0,
+        edge_key("s", "f"): 2.0,
+        edge_key("f", "t"): 2.0,
+    }
+    return graph, delays
+
+
+class TestLarac:
+    def test_loose_bound_returns_cheapest(self, tradeoff_graph):
+        graph, delays = tradeoff_graph
+        path = larac_path(graph, delays, "s", "t", max_delay=100.0)
+        assert path == ["s", "c1", "c2", "t"]
+
+    def test_tight_bound_switches_route(self, tradeoff_graph):
+        graph, delays = tradeoff_graph
+        path = larac_path(graph, delays, "s", "t", max_delay=10.0)
+        assert path == ["s", "f", "t"]
+        assert path_delay(delays, path) <= 10.0
+
+    def test_infeasible_bound_raises(self, tradeoff_graph):
+        graph, delays = tradeoff_graph
+        with pytest.raises(DelayBoundInfeasibleError):
+            larac_path(graph, delays, "s", "t", max_delay=1.0)
+
+    def test_result_always_feasible(self):
+        rng = random.Random(3)
+        graph, _ = waxman_graph(25, alpha=0.4, beta=0.4, seed=3)
+        delays = {
+            edge_key(u, v): rng.uniform(1.0, 10.0)
+            for u, v, _ in graph.edges()
+        }
+        nodes = sorted(graph.nodes())
+        for target in nodes[1:8]:
+            for bound in (15.0, 30.0, 60.0):
+                try:
+                    path = larac_path(graph, delays, nodes[0], target, bound)
+                except DelayBoundInfeasibleError:
+                    continue
+                assert path_delay(delays, path) <= bound + 1e-9
+                assert path[0] == nodes[0] and path[-1] == target
+
+
+class TestExactDP:
+    def test_matches_hand_instance(self, tradeoff_graph):
+        graph, delays = tradeoff_graph
+        path = exact_constrained_path(graph, delays, "s", "t", max_delay=10.0)
+        assert path == ["s", "f", "t"]
+
+    def test_infeasible_raises(self, tradeoff_graph):
+        graph, delays = tradeoff_graph
+        with pytest.raises(DelayBoundInfeasibleError):
+            exact_constrained_path(graph, delays, "s", "t", max_delay=3.0)
+
+    def test_invalid_parameters(self, tradeoff_graph):
+        graph, delays = tradeoff_graph
+        with pytest.raises(ValueError):
+            exact_constrained_path(
+                graph, delays, "s", "t", 10.0, resolution=0
+            )
+        with pytest.raises(DelayBoundInfeasibleError):
+            exact_constrained_path(graph, delays, "s", "t", max_delay=0.0)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_larac_close_to_exact(self, seed):
+        """LARAC must be feasible and within a small factor of the DP optimum."""
+        rng = random.Random(seed)
+        graph, _ = waxman_graph(18, alpha=0.5, beta=0.5, seed=seed)
+        delays = {
+            edge_key(u, v): rng.uniform(1.0, 10.0)
+            for u, v, _ in graph.edges()
+        }
+        nodes = sorted(graph.nodes())
+        source, target = nodes[0], nodes[-1]
+        for bound in (12.0, 25.0, 50.0):
+            try:
+                exact = exact_constrained_path(
+                    graph, delays, source, target, bound, resolution=500
+                )
+            except DelayBoundInfeasibleError:
+                with pytest.raises(DelayBoundInfeasibleError):
+                    larac_path(graph, delays, source, target, bound)
+                continue
+            heuristic = larac_path(graph, delays, source, target, bound)
+            assert path_delay(delays, heuristic) <= bound + 1e-9
+            assert path_cost(graph, heuristic) <= 1.5 * path_cost(
+                graph, exact
+            ) + 1e-9
+
+
+class TestDelayMaps:
+    def test_uniform(self, triangle):
+        delays = uniform_delays(triangle, 2.0)
+        assert all(d == 2.0 for d in delays.values())
+        assert len(delays) == 3
+
+    def test_proportional(self, triangle):
+        delays = proportional_delays(triangle, factor=3.0)
+        assert delays[edge_key("a", "b")] == pytest.approx(3.0)
+        assert delays[edge_key("a", "c")] == pytest.approx(12.0)

@@ -1,0 +1,110 @@
+"""Unit tests for the addressable binary heap."""
+
+import random
+
+import pytest
+
+from repro.graph import IndexedHeap
+
+
+class TestBasics:
+    def test_empty(self):
+        heap = IndexedHeap()
+        assert len(heap) == 0
+        assert not heap
+        with pytest.raises(IndexError):
+            heap.pop()
+        with pytest.raises(IndexError):
+            heap.peek()
+
+    def test_push_pop_single(self):
+        heap = IndexedHeap()
+        heap.push("a", 1.5)
+        assert "a" in heap
+        assert heap.peek() == ("a", 1.5)
+        assert heap.pop() == ("a", 1.5)
+        assert "a" not in heap
+
+    def test_pop_order(self):
+        heap = IndexedHeap()
+        for key, priority in [("a", 3.0), ("b", 1.0), ("c", 2.0)]:
+            heap.push(key, priority)
+        assert [heap.pop()[0] for _ in range(3)] == ["b", "c", "a"]
+
+    def test_duplicate_push_raises(self):
+        heap = IndexedHeap()
+        heap.push("a", 1.0)
+        with pytest.raises(KeyError):
+            heap.push("a", 2.0)
+
+    def test_priority_lookup(self):
+        heap = IndexedHeap()
+        heap.push("a", 4.0)
+        assert heap.priority("a") == 4.0
+        with pytest.raises(KeyError):
+            heap.priority("missing")
+
+
+class TestDecreaseKey:
+    def test_decrease_moves_to_front(self):
+        heap = IndexedHeap()
+        heap.push("a", 5.0)
+        heap.push("b", 1.0)
+        heap.decrease_key("a", 0.5)
+        assert heap.pop() == ("a", 0.5)
+
+    def test_increase_raises(self):
+        heap = IndexedHeap()
+        heap.push("a", 1.0)
+        with pytest.raises(ValueError):
+            heap.decrease_key("a", 2.0)
+
+    def test_decrease_missing_raises(self):
+        heap = IndexedHeap()
+        with pytest.raises(KeyError):
+            heap.decrease_key("missing", 1.0)
+
+    def test_push_or_decrease(self):
+        heap = IndexedHeap()
+        assert heap.push_or_decrease("a", 3.0) is True  # new
+        assert heap.push_or_decrease("a", 5.0) is False  # worse
+        assert heap.priority("a") == 3.0
+        assert heap.push_or_decrease("a", 1.0) is True  # improved
+        assert heap.priority("a") == 1.0
+
+
+class TestRandomized:
+    def test_matches_sorted_order(self):
+        rng = random.Random(99)
+        heap = IndexedHeap()
+        items = {i: rng.uniform(0, 100) for i in range(300)}
+        for key, priority in items.items():
+            heap.push(key, priority)
+        # decrease a random third of the keys
+        for key in rng.sample(sorted(items), 100):
+            items[key] = items[key] * rng.uniform(0.1, 0.99)
+            heap.decrease_key(key, items[key])
+        drained = [heap.pop() for _ in range(len(items))]
+        priorities = [p for _, p in drained]
+        assert priorities == sorted(priorities)
+        assert {k for k, _ in drained} == set(items)
+        for key, priority in drained:
+            assert priority == pytest.approx(items[key])
+
+    def test_interleaved_push_pop(self):
+        rng = random.Random(5)
+        heap = IndexedHeap()
+        mirror = {}
+        counter = 0
+        for _ in range(2000):
+            if mirror and rng.random() < 0.4:
+                key, priority = heap.pop()
+                expected = min(mirror.values())
+                assert priority == pytest.approx(expected)
+                del mirror[key]
+            else:
+                counter += 1
+                priority = rng.uniform(0, 10)
+                heap.push(counter, priority)
+                mirror[counter] = priority
+        assert len(heap) == len(mirror)

@@ -1,0 +1,148 @@
+"""Property-based tests for the graph substrate (hypothesis)."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    DisjointSet,
+    IndexedHeap,
+    dijkstra,
+    is_tree,
+    kmb_steiner_tree,
+    kruskal_mst,
+    prim_mst,
+    single_source_distances,
+    steiner_tree_cost,
+    validate_steiner_tree,
+)
+from repro.graph.components import is_connected
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=2, max_nodes=14):
+    """A connected weighted graph: random spanning tree + random extras."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    weights = st.floats(0.1, 50.0, allow_nan=False, allow_infinity=False)
+    graph = Graph()
+    graph.add_node(0)
+    for node in range(1, n):
+        anchor = draw(st.integers(0, node - 1))
+        graph.add_edge(node, anchor, draw(weights))
+    extra = draw(st.integers(0, 2 * n))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            graph.add_edge(u, v, draw(weights))
+    return graph
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graphs())
+def test_dijkstra_satisfies_triangle_inequality(graph):
+    source = 0
+    distances = single_source_distances(graph, source)
+    assert distances[source] == 0.0
+    for u, v, w in graph.edges():
+        # relaxation fixpoint: no edge can shorten any settled distance
+        assert distances[v] <= distances[u] + w + 1e-9
+        assert distances[u] <= distances[v] + w + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graphs())
+def test_dijkstra_paths_realize_distances(graph):
+    tree = dijkstra(graph, 0)
+    for node in graph.nodes():
+        path = tree.path_to(node)
+        total = sum(graph.weight(a, b) for a, b in zip(path, path[1:]))
+        assert abs(total - tree.distance[node]) < 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graphs())
+def test_mst_implementations_agree_with_networkx(graph):
+    ours_prim = prim_mst(graph).total_weight()
+    ours_kruskal = kruskal_mst(graph).total_weight()
+    reference = nx.Graph()
+    for u, v, w in graph.edges():
+        reference.add_edge(u, v, weight=w)
+    expected = sum(
+        d["weight"]
+        for _, _, d in nx.minimum_spanning_tree(reference).edges(data=True)
+    )
+    assert abs(ours_prim - ours_kruskal) < 1e-6
+    assert abs(ours_prim - expected) < 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graphs(min_nodes=3), st.data())
+def test_kmb_invariants(graph, data):
+    nodes = sorted(graph.nodes())
+    k = data.draw(st.integers(2, min(5, len(nodes))))
+    terminals = data.draw(
+        st.lists(st.sampled_from(nodes), min_size=k, max_size=k, unique=True)
+    )
+    tree = kmb_steiner_tree(graph, terminals)
+    validate_steiner_tree(graph, tree, terminals)
+    # the 2-approximation bound, relative to the weakest upper bound on the
+    # optimum (the full-graph MST spans every terminal)
+    assert steiner_tree_cost(tree) <= 2.0 * prim_mst(graph).total_weight() + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graphs())
+def test_spanning_tree_is_tree_and_connected(graph):
+    tree = prim_mst(graph)
+    assert is_tree(tree)
+    assert is_connected(tree)
+    assert tree.num_nodes == graph.num_nodes
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 30), st.floats(0, 100, allow_nan=False)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_heap_drains_sorted(entries):
+    heap = IndexedHeap()
+    best = {}
+    for key, priority in entries:
+        if key not in best:
+            heap.push(key, priority)
+            best[key] = priority
+        elif priority < best[key]:
+            heap.decrease_key(key, priority)
+            best[key] = priority
+    drained = [heap.pop() for _ in range(len(best))]
+    priorities = [p for _, p in drained]
+    assert priorities == sorted(priorities)
+    assert dict(drained) == best
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        max_size=40,
+    )
+)
+def test_unionfind_equivalence_classes(pairs):
+    ds = DisjointSet(range(16))
+    reference = nx.Graph()
+    reference.add_nodes_from(range(16))
+    for a, b in pairs:
+        if a != b:
+            ds.union(a, b)
+            reference.add_edge(a, b)
+    components = list(nx.connected_components(reference))
+    assert ds.num_sets == len(components)
+    for component in components:
+        members = sorted(component)
+        for other in members[1:]:
+            assert ds.connected(members[0], other)

@@ -1,0 +1,146 @@
+"""Unit tests for the KMB Steiner-tree approximation."""
+
+import pytest
+
+from repro.exceptions import DisconnectedGraphError, NodeNotFoundError
+from repro.graph import (
+    Graph,
+    dijkstra,
+    dreyfus_wagner,
+    is_tree,
+    kmb_steiner_tree,
+    kmb_steiner_tree_cached,
+    metric_closure,
+    steiner_tree_cost,
+    validate_steiner_tree,
+)
+from repro.topology import grid_graph, waxman_graph
+
+
+class TestMetricClosure:
+    def test_triangle(self, triangle):
+        closure = metric_closure(triangle, ["a", "c"])
+        # a-c goes via b: cost 3, not the direct edge of 4
+        assert closure.closure.weight("a", "c") == pytest.approx(3.0)
+        assert closure.expand_edge("a", "c") == ["a", "b", "c"]
+
+    def test_missing_terminal_raises(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            metric_closure(triangle, ["a", "zzz"])
+
+    def test_disconnected_raises(self):
+        g = Graph.from_edges([("a", "b", 1.0)])
+        g.add_node("island")
+        with pytest.raises(DisconnectedGraphError):
+            metric_closure(g, ["a", "island"])
+
+    def test_duplicate_terminals_deduped(self, triangle):
+        closure = metric_closure(triangle, ["a", "a", "b"])
+        assert closure.closure.num_nodes == 2
+
+
+class TestKMB:
+    def test_single_terminal(self, triangle):
+        tree = kmb_steiner_tree(triangle, ["b"])
+        assert tree.num_nodes == 1
+        assert tree.num_edges == 0
+
+    def test_two_terminals_is_shortest_path(self, triangle):
+        tree = kmb_steiner_tree(triangle, ["a", "c"])
+        assert steiner_tree_cost(tree) == pytest.approx(3.0)
+        assert tree.has_node("b")  # Steiner node on the path
+
+    def test_empty_terminals_raises(self, triangle):
+        with pytest.raises(ValueError):
+            kmb_steiner_tree(triangle, [])
+
+    def test_grid_spanning(self):
+        grid = grid_graph(4, 4)
+        terminals = [(0, 0), (0, 3), (3, 0), (3, 3)]
+        tree = kmb_steiner_tree(grid, terminals)
+        validate_steiner_tree(grid, tree, terminals)
+        # Optimal is 8-9 on a 4x4 grid for the corners; KMB must be <= 2x
+        assert steiner_tree_cost(tree) <= 18.0
+
+    def test_star_instance(self):
+        # hub-and-spoke: optimal Steiner tree is the star through the hub
+        g = Graph()
+        for i in range(5):
+            g.add_edge("hub", f"leaf{i}", 1.0)
+        for i in range(5):
+            g.add_edge(f"leaf{i}", f"leaf{(i + 1) % 5}", 3.0)
+        terminals = [f"leaf{i}" for i in range(5)]
+        tree = kmb_steiner_tree(g, terminals)
+        validate_steiner_tree(g, tree, terminals)
+        assert steiner_tree_cost(tree) == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+    def test_random_instances_valid_and_bounded(self, seed):
+        graph, _ = waxman_graph(25, alpha=0.4, beta=0.4, seed=seed)
+        nodes = sorted(graph.nodes())
+        terminals = nodes[:: max(1, len(nodes) // 5)][:5]
+        tree = kmb_steiner_tree(graph, terminals)
+        validate_steiner_tree(graph, tree, terminals)
+        optimal, _ = dreyfus_wagner(graph, terminals)
+        ratio = steiner_tree_cost(tree) / optimal
+        assert 1.0 - 1e-9 <= ratio <= 2.0
+
+    def test_terminals_equal_whole_graph(self, triangle):
+        tree = kmb_steiner_tree(triangle, ["a", "b", "c"])
+        validate_steiner_tree(triangle, tree, ["a", "b", "c"])
+        # becomes the MST
+        assert steiner_tree_cost(tree) == pytest.approx(3.0)
+
+
+class TestKMBCached:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_uncached(self, seed):
+        graph, _ = waxman_graph(25, alpha=0.4, beta=0.4, seed=seed)
+        nodes = sorted(graph.nodes())
+        terminals = nodes[:6]
+        trees = {t: dijkstra(graph, t) for t in terminals}
+        cached = kmb_steiner_tree_cached(graph, trees, terminals)
+        plain = kmb_steiner_tree(graph, terminals)
+        validate_steiner_tree(graph, cached, terminals)
+        assert steiner_tree_cost(cached) == pytest.approx(
+            steiner_tree_cost(plain)
+        )
+
+    def test_single_terminal(self, triangle):
+        tree = kmb_steiner_tree_cached(triangle, {}, ["a"])
+        assert tree.num_nodes == 1
+
+    def test_empty_raises(self, triangle):
+        with pytest.raises(ValueError):
+            kmb_steiner_tree_cached(triangle, {}, [])
+
+    def test_disconnected_raises(self):
+        g = Graph.from_edges([("a", "b", 1.0)])
+        g.add_node("island")
+        trees = {"a": dijkstra(g, "a"), "island": dijkstra(g, "island")}
+        with pytest.raises(DisconnectedGraphError):
+            kmb_steiner_tree_cached(g, trees, ["a", "island"])
+
+
+class TestValidation:
+    def test_detects_missing_terminal(self, triangle):
+        bogus = Graph.from_edges([("a", "b", 1.0)])
+        with pytest.raises(AssertionError):
+            validate_steiner_tree(triangle, bogus, ["a", "c"])
+
+    def test_detects_cycle(self, triangle):
+        with pytest.raises(AssertionError):
+            validate_steiner_tree(triangle, triangle.copy(), ["a", "b", "c"])
+
+    def test_detects_foreign_edge(self, triangle):
+        bogus = Graph.from_edges([("a", "zz", 1.0), ("zz", "c", 1.0)])
+        with pytest.raises(AssertionError):
+            validate_steiner_tree(triangle, bogus, ["a", "c"])
+
+    def test_detects_nonterminal_leaf(self, line_graph):
+        # tree n0..n3 with terminals n0, n2 leaves n3 dangling
+        sub = line_graph.edge_subgraph(
+            [("n0", "n1"), ("n1", "n2"), ("n2", "n3")]
+        )
+        with pytest.raises(AssertionError):
+            validate_steiner_tree(line_graph, sub, ["n0", "n2"])

@@ -1,0 +1,162 @@
+"""Unit tests for rooted trees, LCA, and leaf pruning."""
+
+import random
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError, NotATreeError
+from repro.graph import Graph, RootedTree, is_tree, prune_leaves
+from repro.graph.mst import prim_mst
+from repro.topology import waxman_graph
+
+
+@pytest.fixture
+def sample_tree():
+    r"""A small rooted tree::
+
+            r
+           / \
+          a   b
+         / \   \
+        c   d   e
+            |
+            f
+    """
+    return Graph.from_edges(
+        [
+            ("r", "a", 1.0),
+            ("r", "b", 2.0),
+            ("a", "c", 1.0),
+            ("a", "d", 3.0),
+            ("d", "f", 1.0),
+            ("b", "e", 2.0),
+        ]
+    )
+
+
+class TestIsTree:
+    def test_tree(self, sample_tree):
+        assert is_tree(sample_tree)
+
+    def test_cycle_is_not_tree(self, triangle):
+        assert not is_tree(triangle)
+
+    def test_forest_is_not_tree(self):
+        g = Graph.from_edges([("a", "b", 1.0), ("x", "y", 1.0)])
+        assert not is_tree(g)
+
+    def test_single_node(self):
+        g = Graph()
+        g.add_node("only")
+        assert is_tree(g)
+
+    def test_empty_graph(self):
+        assert not is_tree(Graph())
+
+
+class TestPruneLeaves:
+    def test_strips_non_terminal_branches(self, sample_tree):
+        pruned = prune_leaves(sample_tree, keep=["r", "c", "e"])
+        assert not pruned.has_node("f")
+        assert not pruned.has_node("d")
+        assert pruned.has_node("c") and pruned.has_node("e")
+        assert is_tree(pruned)
+
+    def test_cascading_prune(self, sample_tree):
+        pruned = prune_leaves(sample_tree, keep=["r", "e"])
+        # the whole a-branch disappears (c, d, f, then a)
+        assert set(pruned.nodes()) == {"r", "b", "e"}
+
+    def test_keeps_original_intact(self, sample_tree):
+        prune_leaves(sample_tree, keep=["r"])
+        assert sample_tree.has_node("f")
+
+    def test_no_prunable_leaves(self, sample_tree):
+        keep = list(sample_tree.nodes())
+        pruned = prune_leaves(sample_tree, keep=keep)
+        assert pruned.num_nodes == sample_tree.num_nodes
+
+
+class TestRootedTree:
+    def test_rejects_non_tree(self, triangle):
+        with pytest.raises(NotATreeError):
+            RootedTree(triangle, "a")
+
+    def test_rejects_missing_root(self, sample_tree):
+        with pytest.raises(NodeNotFoundError):
+            RootedTree(sample_tree, "zzz")
+
+    def test_parent_and_depth(self, sample_tree):
+        rooted = RootedTree(sample_tree, "r")
+        assert rooted.parent("r") is None
+        assert rooted.parent("f") == "d"
+        assert rooted.depth("r") == 0
+        assert rooted.depth("f") == 3
+
+    def test_children(self, sample_tree):
+        rooted = RootedTree(sample_tree, "r")
+        assert sorted(rooted.children("a")) == ["c", "d"]
+        assert rooted.children("f") == []
+
+    def test_subtree_nodes(self, sample_tree):
+        rooted = RootedTree(sample_tree, "r")
+        assert rooted.subtree_nodes("a") == {"a", "c", "d", "f"}
+
+    def test_lca(self, sample_tree):
+        rooted = RootedTree(sample_tree, "r")
+        assert rooted.lca("c", "f") == "a"
+        assert rooted.lca("c", "e") == "r"
+        assert rooted.lca("d", "f") == "d"
+        assert rooted.lca("r", "f") == "r"
+
+    def test_lca_of_set(self, sample_tree):
+        rooted = RootedTree(sample_tree, "r")
+        assert rooted.lca_of_set(["c", "d", "f"]) == "a"
+        assert rooted.lca_of_set(["e"]) == "e"
+        with pytest.raises(ValueError):
+            rooted.lca_of_set([])
+
+    def test_path_between(self, sample_tree):
+        rooted = RootedTree(sample_tree, "r")
+        assert rooted.path_between("c", "f") == ["c", "a", "d", "f"]
+        assert rooted.path_between("f", "f") == ["f"]
+
+    def test_path_weight(self, sample_tree):
+        rooted = RootedTree(sample_tree, "r")
+        assert rooted.path_weight("c", "f") == pytest.approx(5.0)
+
+    def test_path_to_ancestor_validates(self, sample_tree):
+        rooted = RootedTree(sample_tree, "r")
+        assert rooted.path_to_ancestor("f", "a") == ["f", "d", "a"]
+        with pytest.raises(ValueError):
+            rooted.path_to_ancestor("e", "a")
+
+    def test_on_path_to_root(self, sample_tree):
+        rooted = RootedTree(sample_tree, "r")
+        assert rooted.on_path_to_root("f", "a")
+        assert not rooted.on_path_to_root("f", "b")
+
+
+class TestLCAAgainstNaive:
+    def naive_lca(self, rooted, a, b):
+        ancestors = set()
+        node = a
+        while node is not None:
+            ancestors.add(node)
+            node = rooted.parent(node)
+        node = b
+        while node not in ancestors:
+            node = rooted.parent(node)
+        return node
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_trees(self, seed):
+        graph, _ = waxman_graph(40, alpha=0.4, beta=0.4, seed=seed)
+        tree = prim_mst(graph)
+        root = sorted(tree.nodes())[0]
+        rooted = RootedTree(tree, root)
+        rng = random.Random(seed)
+        nodes = sorted(tree.nodes())
+        for _ in range(60):
+            a, b = rng.choice(nodes), rng.choice(nodes)
+            assert rooted.lca(a, b) == self.naive_lca(rooted, a, b)

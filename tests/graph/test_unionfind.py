@@ -1,0 +1,74 @@
+"""Unit tests for the disjoint-set forest."""
+
+import random
+
+from repro.graph import DisjointSet
+
+
+class TestBasics:
+    def test_lazy_singletons(self):
+        ds = DisjointSet()
+        assert ds.find("a") == "a"
+        assert ds.num_sets == 1
+
+    def test_constructor_items(self):
+        ds = DisjointSet(["a", "b", "c"])
+        assert ds.num_sets == 3
+        assert len(ds) == 3
+
+    def test_union_merges(self):
+        ds = DisjointSet()
+        assert ds.union("a", "b") is True
+        assert ds.connected("a", "b")
+        assert ds.num_sets == 1
+
+    def test_union_already_joined(self):
+        ds = DisjointSet()
+        ds.union("a", "b")
+        assert ds.union("b", "a") is False
+
+    def test_transitive_connectivity(self):
+        ds = DisjointSet()
+        ds.union("a", "b")
+        ds.union("b", "c")
+        assert ds.connected("a", "c")
+        assert not ds.connected("a", "d")
+        assert ds.num_sets == 2  # {a,b,c} and {d}
+
+    def test_members(self):
+        ds = DisjointSet()
+        ds.union("a", "b")
+        ds.union("c", "d")
+        assert ds.members("a") == {"a", "b"}
+        assert ds.members("d") == {"c", "d"}
+
+    def test_iter(self):
+        ds = DisjointSet(["x", "y"])
+        assert sorted(ds) == ["x", "y"]
+
+
+class TestRandomized:
+    def test_against_naive_partition(self):
+        rng = random.Random(4)
+        ds = DisjointSet(range(100))
+        naive = {i: {i} for i in range(100)}
+
+        def naive_union(a, b):
+            sa, sb = naive[a], naive[b]
+            if sa is sb:
+                return
+            merged = sa | sb
+            for member in merged:
+                naive[member] = merged
+
+        for _ in range(300):
+            a, b = rng.randrange(100), rng.randrange(100)
+            if a == b:
+                continue
+            ds.union(a, b)
+            naive_union(a, b)
+        for _ in range(200):
+            a, b = rng.randrange(100), rng.randrange(100)
+            assert ds.connected(a, b) == (naive[a] is naive[b])
+        distinct = {id(s) for s in naive.values()}
+        assert ds.num_sets == len(distinct)

@@ -1,0 +1,143 @@
+"""Failure-injection tests: the system degrades gracefully, never corrupts.
+
+Link "failures" are modelled by saturating their bandwidth (the residual
+view is equivalent to removal for every solver), server failures by
+exhausting their compute.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    OnlineCP,
+    SPOnline,
+    appro_multi_cap,
+    validate_pseudo_tree,
+)
+from repro.exceptions import InfeasibleRequestError
+from repro.graph import edge_key
+from repro.network import build_sdn
+from repro.topology import gt_itm_flat
+from repro.workload import generate_workload
+
+
+def fail_link(network, u, v):
+    network.allocate_bandwidth(u, v, network.link(u, v).residual)
+
+
+def fail_server(network, node):
+    network.allocate_compute(node, network.server(node).residual)
+
+
+class TestLinkFailures:
+    def test_capacitated_solver_avoids_failed_links(self):
+        graph = gt_itm_flat(40, seed=71)
+        network = build_sdn(graph, seed=71)
+        requests = generate_workload(graph, 10, dmax_ratio=0.1, seed=72)
+        rng = random.Random(73)
+        edges = sorted(
+            (edge_key(u, v) for u, v, _ in graph.edges()), key=repr
+        )
+        failed = set(rng.sample(edges, len(edges) // 5))
+        for u, v in failed:
+            fail_link(network, u, v)
+        for request in requests:
+            try:
+                tree = appro_multi_cap(network, request, max_servers=2)
+            except InfeasibleRequestError:
+                continue
+            validate_pseudo_tree(network, tree)
+            for link in tree.touched_links():
+                assert link not in failed
+
+    def test_progressive_failures_eventually_reject_cleanly(self):
+        graph = gt_itm_flat(25, seed=74)
+        network = build_sdn(graph, seed=74)
+        request = generate_workload(graph, 1, dmax_ratio=0.2, seed=75)[0]
+        edges = sorted(
+            (edge_key(u, v) for u, v, _ in graph.edges()), key=repr
+        )
+        rng = random.Random(76)
+        rng.shuffle(edges)
+        solved_then_failed = False
+        for u, v in edges:
+            try:
+                tree = appro_multi_cap(network, request, max_servers=1)
+                validate_pseudo_tree(network, tree)
+                solved_then_failed = True
+            except InfeasibleRequestError:
+                break  # clean rejection once the network is cut
+            fail_link(network, u, v)
+        assert solved_then_failed  # it worked before the cut
+
+
+class TestServerFailures:
+    def test_online_survives_rolling_server_failures(self):
+        graph = gt_itm_flat(40, seed=81)
+        network = build_sdn(graph, seed=81)
+        algorithm = OnlineCP(network)
+        requests = generate_workload(graph, 60, dmax_ratio=0.1, seed=82)
+        servers = list(network.server_nodes)
+        for i, request in enumerate(requests):
+            if i in (15, 30, 45) and servers:
+                fail_server(network, servers.pop())
+            decision = algorithm.process(request)
+            if decision.admitted:
+                validate_pseudo_tree(network, decision.tree)
+                # a dead server never hosts a new chain
+                for server in decision.tree.servers:
+                    assert network.server(server).capacity - (
+                        network.server(server).residual
+                    ) >= request.compute_demand - 1e-6
+        for link in network.links():
+            assert link.residual >= -1e-6
+
+    def test_all_servers_down_rejects_everything(self):
+        graph = gt_itm_flat(30, seed=83)
+        network = build_sdn(graph, seed=83)
+        for node in network.server_nodes:
+            fail_server(network, node)
+        algorithm = SPOnline(network)
+        requests = generate_workload(graph, 10, dmax_ratio=0.1, seed=84)
+        for request in requests:
+            assert not algorithm.process(request).admitted
+
+
+class TestChurnStress:
+    def test_random_depart_order_is_lossless(self):
+        graph = gt_itm_flat(30, seed=91)
+        network = build_sdn(graph, seed=91)
+        algorithm = SPOnline(network)
+        requests = generate_workload(graph, 50, dmax_ratio=0.1, seed=92)
+        admitted = [
+            r.request_id
+            for r in requests
+            if algorithm.process(r).admitted
+        ]
+        rng = random.Random(93)
+        rng.shuffle(admitted)
+        for request_id in admitted:
+            algorithm.depart(request_id)
+        for link in network.links():
+            assert link.residual == pytest.approx(link.capacity)
+        for server in network.servers():
+            assert server.residual == pytest.approx(server.capacity)
+
+    def test_interleaved_admit_depart_never_overcommits(self):
+        graph = gt_itm_flat(30, seed=94)
+        network = build_sdn(graph, seed=94)
+        algorithm = OnlineCP(network)
+        requests = generate_workload(graph, 120, dmax_ratio=0.15, seed=95)
+        rng = random.Random(96)
+        active = []
+        for request in requests:
+            if active and rng.random() < 0.4:
+                victim = active.pop(rng.randrange(len(active)))
+                algorithm.depart(victim)
+            if algorithm.process(request).admitted:
+                active.append(request.request_id)
+            for link in network.links():
+                assert link.residual >= -1e-6
+            for server in network.servers():
+                assert server.residual >= -1e-6

@@ -1,0 +1,132 @@
+"""Unit tests for transactional allocation."""
+
+import pytest
+
+from repro.exceptions import AllocationError, CapacityExceededError
+from repro.network import AllocationTransaction
+
+
+def first_edge(network):
+    return next(iter(network.graph.edges()))[:2]
+
+
+class TestLifecycle:
+    def test_commit_keeps_reservations(self, small_network):
+        u, v = first_edge(small_network)
+        before = small_network.link(u, v).residual
+        txn = AllocationTransaction(small_network)
+        txn.allocate_bandwidth(u, v, 100.0)
+        txn.commit()
+        assert small_network.link(u, v).residual == pytest.approx(before - 100.0)
+
+    def test_rollback_restores_everything(self, small_network):
+        u, v = first_edge(small_network)
+        server = small_network.server_nodes[0]
+        link_before = small_network.link(u, v).residual
+        server_before = small_network.server(server).residual
+        txn = AllocationTransaction(small_network)
+        txn.allocate_bandwidth(u, v, 100.0)
+        txn.allocate_compute(server, 500.0)
+        txn.rollback()
+        assert small_network.link(u, v).residual == pytest.approx(link_before)
+        assert small_network.server(server).residual == pytest.approx(
+            server_before
+        )
+
+    def test_double_commit_raises(self, small_network):
+        txn = AllocationTransaction(small_network)
+        txn.commit()
+        with pytest.raises(AllocationError):
+            txn.commit()
+
+    def test_allocate_after_commit_raises(self, small_network):
+        u, v = first_edge(small_network)
+        txn = AllocationTransaction(small_network)
+        txn.commit()
+        with pytest.raises(AllocationError):
+            txn.allocate_bandwidth(u, v, 1.0)
+
+    def test_rollback_after_commit_raises(self, small_network):
+        txn = AllocationTransaction(small_network)
+        txn.commit()
+        with pytest.raises(AllocationError):
+            txn.rollback()
+
+    def test_rollback_idempotent(self, small_network):
+        txn = AllocationTransaction(small_network)
+        txn.rollback()
+        txn.rollback()  # second call is a no-op
+
+    def test_is_open(self, small_network):
+        txn = AllocationTransaction(small_network)
+        assert txn.is_open
+        txn.commit()
+        assert not txn.is_open
+
+
+class TestContextManager:
+    def test_exception_triggers_rollback(self, small_network):
+        u, v = first_edge(small_network)
+        before = small_network.link(u, v).residual
+        with pytest.raises(RuntimeError):
+            with AllocationTransaction(small_network) as txn:
+                txn.allocate_bandwidth(u, v, 100.0)
+                raise RuntimeError("boom")
+        assert small_network.link(u, v).residual == pytest.approx(before)
+
+    def test_missing_commit_rolls_back(self, small_network):
+        u, v = first_edge(small_network)
+        before = small_network.link(u, v).residual
+        with AllocationTransaction(small_network) as txn:
+            txn.allocate_bandwidth(u, v, 100.0)
+        assert small_network.link(u, v).residual == pytest.approx(before)
+
+    def test_commit_inside_context_sticks(self, small_network):
+        u, v = first_edge(small_network)
+        before = small_network.link(u, v).residual
+        with AllocationTransaction(small_network) as txn:
+            txn.allocate_bandwidth(u, v, 100.0)
+            txn.commit()
+        assert small_network.link(u, v).residual == pytest.approx(before - 100.0)
+
+
+class TestFailures:
+    def test_failed_allocation_leaves_prior_ops_recorded(self, small_network):
+        u, v = first_edge(small_network)
+        capacity = small_network.link(u, v).capacity
+        txn = AllocationTransaction(small_network)
+        txn.allocate_bandwidth(u, v, capacity / 2)
+        with pytest.raises(CapacityExceededError):
+            txn.allocate_bandwidth(u, v, capacity)
+        # rollback must undo the successful first reservation
+        txn.rollback()
+        assert small_network.link(u, v).residual == pytest.approx(capacity)
+
+
+class TestReleaseAll:
+    def test_release_committed(self, small_network):
+        u, v = first_edge(small_network)
+        server = small_network.server_nodes[0]
+        txn = AllocationTransaction(small_network)
+        txn.allocate_bandwidth(u, v, 250.0)
+        txn.allocate_compute(server, 400.0)
+        txn.commit()
+        txn.release_all()
+        assert small_network.link(u, v).residual == small_network.link(
+            u, v
+        ).capacity
+        assert small_network.server(server).residual == small_network.server(
+            server
+        ).capacity
+
+    def test_release_uncommitted_raises(self, small_network):
+        txn = AllocationTransaction(small_network)
+        with pytest.raises(AllocationError):
+            txn.release_all()
+
+    def test_reservation_inspection(self, small_network):
+        u, v = first_edge(small_network)
+        txn = AllocationTransaction(small_network)
+        txn.allocate_bandwidth(u, v, 10.0)
+        assert txn.bandwidth_reservations == [(u, v, 10.0)]
+        assert txn.compute_reservations == []

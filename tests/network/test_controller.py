@@ -1,0 +1,71 @@
+"""Unit tests for the simulated SDN controller."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.network import Controller
+
+
+@pytest.fixture
+def controller():
+    return Controller()
+
+
+HOPS = [("s", "a"), ("a", "v"), ("v", "a"), ("a", "d1"), ("a", "d2")]
+
+
+class TestInstall:
+    def test_install_creates_rules(self, controller):
+        record = controller.install_tree(1, HOPS, servers=["v"])
+        assert controller.is_installed(1)
+        switches = {rule.switch for rule in record.rules}
+        assert switches == {"s", "a", "v", "d1", "d2"}
+
+    def test_server_flag(self, controller):
+        controller.install_tree(1, HOPS, servers=["v"])
+        rules = {r.switch: r for r in controller.rules_for(1)}
+        assert rules["v"].to_server
+        assert not rules["a"].to_server
+
+    def test_fanout_ports(self, controller):
+        controller.install_tree(1, HOPS, servers=["v"])
+        rules = {r.switch: r for r in controller.rules_for(1)}
+        assert set(rules["a"].out_ports) == {"v", "d1", "d2"}
+        assert rules["d1"].out_ports == ()
+
+    def test_double_install_raises(self, controller):
+        controller.install_tree(1, HOPS, servers=["v"])
+        with pytest.raises(SimulationError):
+            controller.install_tree(1, HOPS, servers=["v"])
+
+    def test_table_occupancy(self, controller):
+        controller.install_tree(1, HOPS, servers=["v"])
+        controller.install_tree(2, [("a", "d1")], servers=[])
+        assert controller.table_occupancy("a") == 2
+        assert controller.table_occupancy("unused") == 0
+        assert controller.total_rules() == 5 + 2
+
+
+class TestUninstall:
+    def test_uninstall_clears_everything(self, controller):
+        controller.install_tree(1, HOPS, servers=["v"])
+        controller.uninstall(1)
+        assert not controller.is_installed(1)
+        assert controller.total_rules() == 0
+        assert controller.table_occupancy("a") == 0
+
+    def test_uninstall_missing_raises(self, controller):
+        with pytest.raises(SimulationError):
+            controller.uninstall(404)
+
+    def test_rules_for_missing_raises(self, controller):
+        with pytest.raises(SimulationError):
+            controller.rules_for(404)
+
+    def test_partial_uninstall_keeps_other_requests(self, controller):
+        controller.install_tree(1, HOPS, servers=["v"])
+        controller.install_tree(2, [("a", "d1")], servers=[])
+        controller.uninstall(1)
+        assert controller.is_installed(2)
+        assert controller.table_occupancy("a") == 1
+        assert controller.installed_requests == [2]

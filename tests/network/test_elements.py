@@ -1,0 +1,90 @@
+"""Unit tests for link and server resource state."""
+
+import pytest
+
+from repro.exceptions import CapacityExceededError
+from repro.network import LinkState, ServerState
+
+
+class TestLinkState:
+    def make(self, capacity=1000.0, unit_cost=0.05):
+        return LinkState(endpoints=("a", "b"), capacity=capacity,
+                         unit_cost=unit_cost)
+
+    def test_starts_full(self):
+        link = self.make()
+        assert link.residual == 1000.0
+        assert link.utilization == 0.0
+
+    def test_allocate_release_roundtrip(self):
+        link = self.make()
+        link.allocate(400.0)
+        assert link.residual == 600.0
+        assert link.utilization == pytest.approx(0.4)
+        link.release(400.0)
+        assert link.residual == 1000.0
+
+    def test_overallocation_raises(self):
+        link = self.make()
+        link.allocate(900.0)
+        with pytest.raises(CapacityExceededError):
+            link.allocate(200.0)
+        assert link.residual == 100.0  # unchanged by the failed attempt
+
+    def test_exact_fill_allowed(self):
+        link = self.make()
+        link.allocate(1000.0)
+        assert link.residual == 0.0
+        assert link.can_allocate(0.0)
+        assert not link.can_allocate(1.0)
+
+    def test_over_release_raises(self):
+        link = self.make()
+        link.allocate(100.0)
+        with pytest.raises(ValueError):
+            link.release(200.0)
+
+    def test_negative_amounts_raise(self):
+        link = self.make()
+        with pytest.raises(ValueError):
+            link.allocate(-1.0)
+        with pytest.raises(ValueError):
+            link.release(-1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            LinkState(endpoints=("a", "b"), capacity=0.0, unit_cost=0.1)
+        with pytest.raises(ValueError):
+            LinkState(endpoints=("a", "b"), capacity=10.0, unit_cost=-0.1)
+
+    def test_float_tolerance(self):
+        link = self.make(capacity=0.3)
+        link.allocate(0.1)
+        link.allocate(0.2)  # 0.1 + 0.2 > 0.3 in float; epsilon must absorb it
+        assert link.residual == pytest.approx(0.0, abs=1e-9)
+
+
+class TestServerState:
+    def make(self, capacity=8000.0, unit_cost=0.01):
+        return ServerState(node="v1", capacity=capacity, unit_cost=unit_cost)
+
+    def test_roundtrip(self):
+        server = self.make()
+        server.allocate(2000.0)
+        assert server.utilization == pytest.approx(0.25)
+        server.release(2000.0)
+        assert server.residual == 8000.0
+
+    def test_overallocation_raises(self):
+        server = self.make()
+        with pytest.raises(CapacityExceededError):
+            server.allocate(9000.0)
+
+    def test_over_release_raises(self):
+        server = self.make()
+        with pytest.raises(ValueError):
+            server.release(1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ServerState(node="v", capacity=-5.0, unit_cost=0.1)

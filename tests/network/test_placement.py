@@ -1,0 +1,91 @@
+"""Unit tests for the VM placement registry."""
+
+import pytest
+
+from repro.core import appro_multi
+from repro.exceptions import SimulationError
+from repro.network import VMRegistry
+from repro.workload import generate_workload
+
+
+@pytest.fixture
+def registry():
+    return VMRegistry()
+
+
+@pytest.fixture
+def trees(small_network):
+    requests = generate_workload(
+        small_network.graph, 5, dmax_ratio=0.2, seed=33
+    )
+    return [appro_multi(small_network, r, max_servers=2) for r in requests]
+
+
+class TestLifecycle:
+    def test_place_creates_one_vm_per_server(self, registry, trees):
+        tree = trees[0]
+        instances = registry.place(tree)
+        assert len(instances) == tree.num_servers
+        assert {vm.server for vm in instances} == set(tree.servers)
+        for vm in instances:
+            assert vm.compute_mhz == pytest.approx(
+                tree.request.compute_demand
+            )
+            assert vm.chain is tree.request.chain
+
+    def test_double_place_raises(self, registry, trees):
+        registry.place(trees[0])
+        with pytest.raises(SimulationError):
+            registry.place(trees[0])
+
+    def test_evict_returns_instances(self, registry, trees):
+        placed = registry.place(trees[0])
+        evicted = registry.evict(trees[0].request.request_id)
+        assert placed == evicted
+        assert registry.total_instances == 0
+        assert registry.active_requests == []
+
+    def test_evict_unknown_raises(self, registry):
+        with pytest.raises(SimulationError):
+            registry.evict(404)
+
+
+class TestQueries:
+    def test_indexes_consistent(self, registry, trees):
+        for tree in trees:
+            registry.place(tree)
+        total = sum(tree.num_servers for tree in trees)
+        assert registry.total_instances == total
+        # per-server index covers exactly the same instances
+        servers = {s for tree in trees for s in tree.servers}
+        per_server = sum(
+            len(registry.instances_on(s)) for s in servers
+        )
+        assert per_server == total
+
+    def test_compute_in_use_matches_demands(self, registry, trees):
+        registry.place(trees[0])
+        server = trees[0].servers[0]
+        assert registry.compute_in_use(server) == pytest.approx(
+            trees[0].request.compute_demand
+        )
+        assert registry.compute_in_use("nonexistent") == 0.0
+
+    def test_instances_for(self, registry, trees):
+        registry.place(trees[0])
+        rid = trees[0].request.request_id
+        assert len(registry.instances_for(rid)) == trees[0].num_servers
+        assert registry.instances_for(999) == []
+
+    def test_placement_report(self, registry, trees):
+        assert registry.placement_report() == "no VMs placed"
+        registry.place(trees[0])
+        report = registry.placement_report()
+        assert "VMs" in report
+        assert "MHz" in report
+
+    def test_eviction_cleans_server_index(self, registry, trees):
+        registry.place(trees[0])
+        server = trees[0].servers[0]
+        registry.evict(trees[0].request.request_id)
+        assert registry.instances_on(server) == []

@@ -1,0 +1,96 @@
+"""Property-based tests: resource accounting never corrupts state."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CapacityExceededError
+from repro.network import AllocationTransaction, build_sdn
+from repro.topology import waxman_graph
+
+
+def make_network(seed=7):
+    graph, _ = waxman_graph(12, alpha=0.5, beta=0.5, seed=seed)
+    return build_sdn(graph, seed=seed, server_fraction=0.25)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 100),  # which link (mod #links)
+            st.floats(1.0, 4000.0, allow_nan=False),
+            st.booleans(),  # commit or roll back this transaction
+        ),
+        max_size=20,
+    )
+)
+def test_transactions_conserve_capacity(operations):
+    """Any mix of committed/rolled-back transactions keeps invariants:
+
+    0 <= residual <= capacity, and the sum of *committed* reservations
+    equals exactly the missing residual.
+    """
+    network = make_network()
+    edges = [(u, v) for u, v, _ in network.graph.edges()]
+    committed = {}
+    for index, amount, do_commit in operations:
+        u, v = edges[index % len(edges)]
+        txn = AllocationTransaction(network)
+        try:
+            txn.allocate_bandwidth(u, v, amount)
+        except CapacityExceededError:
+            txn.rollback()
+            continue
+        if do_commit:
+            txn.commit()
+            key = tuple(sorted((repr(u), repr(v))))
+            committed[key] = committed.get(key, 0.0) + amount
+        else:
+            txn.rollback()
+
+    for link in network.links():
+        assert -1e-6 <= link.residual <= link.capacity + 1e-6
+        key = tuple(sorted((repr(link.endpoints[0]), repr(link.endpoints[1]))))
+        expected_used = committed.get(key, 0.0)
+        assert abs((link.capacity - link.residual) - expected_used) < 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 50), st.floats(1.0, 6000.0, allow_nan=False)),
+        max_size=25,
+    )
+)
+def test_allocate_release_roundtrip_on_servers(operations):
+    """Allocating then releasing in reverse always restores full capacity."""
+    network = make_network(seed=9)
+    servers = network.server_nodes
+    performed = []
+    for index, amount in operations:
+        node = servers[index % len(servers)]
+        if network.server(node).can_allocate(amount):
+            network.allocate_compute(node, amount)
+            performed.append((node, amount))
+    for node, amount in reversed(performed):
+        network.release_compute(node, amount)
+    for server in network.servers():
+        assert abs(server.residual - server.capacity) < 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(0.0, 10000.0, allow_nan=False))
+def test_residual_graph_threshold_consistency(threshold):
+    """Every surviving edge really has enough residual bandwidth."""
+    network = make_network(seed=11)
+    # load a few links deterministically
+    for i, (u, v, _) in enumerate(network.graph.edges()):
+        if i % 3 == 0:
+            amount = network.link(u, v).capacity * 0.9
+            network.allocate_bandwidth(u, v, amount)
+    pruned = network.residual_graph(min_bandwidth=threshold)
+    for u, v, _ in pruned.edges():
+        assert network.link(u, v).residual >= threshold - 1e-6
+    for u, v, _ in network.graph.edges():
+        if network.link(u, v).residual >= threshold:
+            assert pruned.has_edge(u, v)

@@ -1,0 +1,95 @@
+"""Unit tests for service chains."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ServiceChainError
+from repro.nfv import (
+    FUNCTION_CATALOGUE,
+    FunctionType,
+    ServiceChain,
+    random_service_chain,
+)
+
+
+class TestServiceChain:
+    def test_of_builds_in_order(self):
+        chain = ServiceChain.of(
+            FunctionType.NAT, FunctionType.FIREWALL, FunctionType.IDS
+        )
+        assert chain.kinds == (
+            FunctionType.NAT,
+            FunctionType.FIREWALL,
+            FunctionType.IDS,
+        )
+        assert chain.length == 3
+        assert len(chain) == 3
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ServiceChainError):
+            ServiceChain(functions=())
+
+    def test_compute_demand_is_sum(self):
+        chain = ServiceChain.of(FunctionType.NAT, FunctionType.IDS)
+        expected = (
+            FUNCTION_CATALOGUE[FunctionType.NAT].compute_demand(100.0)
+            + FUNCTION_CATALOGUE[FunctionType.IDS].compute_demand(100.0)
+        )
+        assert chain.compute_demand(100.0) == pytest.approx(expected)
+
+    def test_describe_uses_paper_notation(self):
+        chain = ServiceChain.of(FunctionType.NAT, FunctionType.FIREWALL)
+        assert chain.describe() == "<nat, firewall>"
+
+    def test_iteration(self):
+        chain = ServiceChain.of(FunctionType.PROXY)
+        functions = list(chain)
+        assert len(functions) == 1
+        assert functions[0].kind is FunctionType.PROXY
+
+    def test_frozen(self):
+        chain = ServiceChain.of(FunctionType.PROXY)
+        with pytest.raises(Exception):
+            chain.functions = ()
+
+
+class TestRandomServiceChain:
+    def test_deterministic_with_seeded_rng(self):
+        chains1 = [
+            random_service_chain(random.Random(9)) for _ in range(1)
+        ]
+        chains2 = [
+            random_service_chain(random.Random(9)) for _ in range(1)
+        ]
+        assert chains1[0].kinds == chains2[0].kinds
+
+    def test_length_bounds(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            chain = random_service_chain(rng, min_length=2, max_length=4)
+            assert 2 <= chain.length <= 4
+
+    def test_no_repeated_functions(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            chain = random_service_chain(rng, min_length=3, max_length=5)
+            assert len(set(chain.kinds)) == chain.length
+
+    def test_restricted_pool(self):
+        rng = random.Random(3)
+        pool = [FunctionType.NAT, FunctionType.IDS]
+        for _ in range(20):
+            chain = random_service_chain(
+                rng, min_length=1, max_length=2, kinds=pool
+            )
+            assert set(chain.kinds) <= set(pool)
+
+    def test_invalid_bounds(self):
+        rng = random.Random(4)
+        with pytest.raises(ServiceChainError):
+            random_service_chain(rng, min_length=0, max_length=2)
+        with pytest.raises(ServiceChainError):
+            random_service_chain(rng, min_length=3, max_length=2)
+        with pytest.raises(ServiceChainError):
+            random_service_chain(rng, min_length=1, max_length=6)

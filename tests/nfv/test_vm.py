@@ -1,0 +1,27 @@
+"""Unit tests for VM instances."""
+
+import pytest
+
+from repro.nfv import FunctionType, ServiceChain, VMInstance
+
+
+class TestVMInstance:
+    def test_unique_ids(self, sample_chain):
+        vm1 = VMInstance(server="s1", chain=sample_chain,
+                         compute_mhz=100.0, request_id=1)
+        vm2 = VMInstance(server="s1", chain=sample_chain,
+                         compute_mhz=100.0, request_id=1)
+        assert vm1.vm_id != vm2.vm_id
+
+    def test_nonpositive_compute_rejected(self, sample_chain):
+        with pytest.raises(ValueError):
+            VMInstance(server="s1", chain=sample_chain,
+                       compute_mhz=0.0, request_id=1)
+
+    def test_describe_mentions_server_and_chain(self, sample_chain):
+        vm = VMInstance(server="s9", chain=sample_chain,
+                        compute_mhz=120.0, request_id=42)
+        text = vm.describe()
+        assert "s9" in text
+        assert "nat" in text
+        assert "42" in text

@@ -1,0 +1,144 @@
+"""Unit tests for the simulation drivers."""
+
+import pytest
+
+from repro.core import OnlineCP, SPOnline, appro_multi, appro_multi_cap
+from repro.exceptions import InfeasibleRequestError
+from repro.network import Controller, build_sdn
+from repro.simulation import (
+    run_offline,
+    run_online,
+    run_online_with_departures,
+    run_sequential_capacitated,
+)
+from repro.topology import gt_itm_flat
+from repro.workload import generate_workload, one_by_one, poisson_process
+
+
+@pytest.fixture
+def setup():
+    graph = gt_itm_flat(40, seed=13)
+    network = build_sdn(graph, seed=13)
+    requests = generate_workload(graph, 20, dmax_ratio=0.1, seed=14)
+    return graph, network, requests
+
+
+class TestRunOffline:
+    def test_counts_and_aggregates(self, setup):
+        _, network, requests = setup
+        stats = run_offline(
+            lambda net, req: appro_multi(net, req, max_servers=2),
+            network,
+            requests,
+        )
+        assert stats.solved == len(requests)
+        assert stats.infeasible == 0
+        assert len(stats.costs) == len(requests)
+        assert stats.mean_cost > 0
+        assert all(runtime >= 0 for runtime in stats.runtimes)
+
+    def test_does_not_mutate_network(self, setup):
+        _, network, requests = setup
+        run_offline(
+            lambda net, req: appro_multi(net, req, max_servers=1),
+            network,
+            requests,
+        )
+        for link in network.links():
+            assert link.residual == link.capacity
+
+    def test_infeasible_counted(self, setup):
+        _, network, requests = setup
+
+        def failing_solver(net, req):
+            raise InfeasibleRequestError("nope")
+
+        stats = run_offline(failing_solver, network, requests)
+        assert stats.infeasible == len(requests)
+        assert stats.solved == 0
+
+
+class TestRunSequentialCapacitated:
+    def test_commits_resources(self, setup):
+        _, network, requests = setup
+        stats = run_sequential_capacitated(
+            lambda net, req: appro_multi_cap(net, req, max_servers=2),
+            network,
+            requests,
+        )
+        assert stats.solved > 0
+        assert network.total_bandwidth_allocated() > 0
+        assert network.total_compute_allocated() > 0
+
+    def test_controller_installation(self, setup):
+        _, network, requests = setup
+        controller = Controller()
+        stats = run_sequential_capacitated(
+            lambda net, req: appro_multi_cap(net, req, max_servers=2),
+            network,
+            requests,
+            controller=controller,
+        )
+        assert len(controller.installed_requests) == stats.solved
+        assert controller.total_rules() > 0
+
+
+class TestRunOnline:
+    def test_timeline_monotone(self, setup):
+        _, network, requests = setup
+        stats = run_online(SPOnline(network), requests)
+        assert len(stats.admitted_timeline) == len(requests)
+        assert stats.admitted_timeline == sorted(stats.admitted_timeline)
+        assert stats.admitted_timeline[-1] == stats.admitted
+        assert stats.processed == len(requests)
+
+    def test_utilization_recorded(self, setup):
+        _, network, requests = setup
+        stats = run_online(OnlineCP(network), requests)
+        assert 0.0 <= stats.final_link_utilization <= 1.0
+        assert 0.0 <= stats.final_server_utilization <= 1.0
+
+    def test_controller_tracks_admissions(self, setup):
+        _, network, requests = setup
+        controller = Controller()
+        stats = run_online(SPOnline(network), requests, controller=controller)
+        assert len(controller.installed_requests) == stats.admitted
+
+
+class TestRunOnlineWithDepartures:
+    def test_arrival_only_events_match_run_online(self, setup):
+        graph, _, requests = setup
+        network_a = build_sdn(graph, seed=13)
+        network_b = build_sdn(graph, seed=13)
+        plain = run_online(SPOnline(network_a), requests)
+        evented = run_online_with_departures(
+            SPOnline(network_b), one_by_one(requests)
+        )
+        assert plain.admitted == evented.admitted
+
+    def test_departures_free_capacity(self, setup):
+        graph, _, requests = setup
+        network = build_sdn(graph, seed=13)
+        events = poisson_process(
+            requests, arrival_rate=1.0, mean_holding_time=0.5, seed=9
+        )
+        controller = Controller()
+        stats = run_online_with_departures(
+            SPOnline(network), events, controller=controller
+        )
+        # every admitted request also departed (holding times are short and
+        # every departure event is after its arrival in the list)
+        assert stats.admitted > 0
+        assert controller.total_rules() == 0
+        for link in network.links():
+            assert link.residual == pytest.approx(link.capacity)
+
+    def test_departures_enable_more_admissions_under_pressure(self):
+        graph = gt_itm_flat(30, seed=21)
+        requests = generate_workload(graph, 250, dmax_ratio=0.2, seed=22)
+        static = run_online(SPOnline(build_sdn(graph, seed=21)), requests)
+        churn = run_online_with_departures(
+            SPOnline(build_sdn(graph, seed=21)),
+            poisson_process(requests, 5.0, 2.0, seed=23),
+        )
+        assert churn.admitted >= static.admitted

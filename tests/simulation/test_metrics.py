@@ -1,0 +1,54 @@
+"""Unit tests for run statistics."""
+
+import pytest
+
+from repro.core.online_base import RejectReason
+from repro.simulation import OfflineRunStats, OnlineRunStats
+
+
+class TestOfflineRunStats:
+    def test_empty(self):
+        stats = OfflineRunStats()
+        assert stats.mean_cost == 0.0
+        assert stats.mean_runtime == 0.0
+        assert stats.mean_servers_used == 0.0
+        assert stats.total_runtime == 0.0
+
+    def test_aggregates(self):
+        stats = OfflineRunStats(
+            solved=3,
+            infeasible=1,
+            costs=[10.0, 20.0, 30.0],
+            runtimes=[0.1, 0.2, 0.3],
+            servers_used=[1, 2, 3],
+        )
+        assert stats.mean_cost == pytest.approx(20.0)
+        assert stats.mean_runtime == pytest.approx(0.2)
+        assert stats.total_runtime == pytest.approx(0.6)
+        assert stats.mean_servers_used == pytest.approx(2.0)
+
+
+class TestOnlineRunStats:
+    def test_empty(self):
+        stats = OnlineRunStats()
+        assert stats.processed == 0
+        assert stats.acceptance_ratio == 0.0
+        assert stats.total_operational_cost == 0.0
+
+    def test_aggregates(self):
+        stats = OnlineRunStats(
+            admitted=3, rejected=1, operational_costs=[1.0, 2.0, 3.0]
+        )
+        assert stats.processed == 4
+        assert stats.acceptance_ratio == pytest.approx(0.75)
+        assert stats.total_operational_cost == pytest.approx(6.0)
+
+    def test_reject_histogram(self):
+        stats = OnlineRunStats()
+        stats.record_rejection(RejectReason.TREE_THRESHOLD)
+        stats.record_rejection(RejectReason.TREE_THRESHOLD)
+        stats.record_rejection(RejectReason.DISCONNECTED)
+        stats.record_rejection(None)  # ignored
+        assert stats.reject_reasons[RejectReason.TREE_THRESHOLD] == 2
+        assert stats.reject_reasons[RejectReason.DISCONNECTED] == 1
+        assert len(stats.reject_reasons) == 2

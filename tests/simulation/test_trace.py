@@ -1,0 +1,88 @@
+"""Unit tests for simulation traces."""
+
+import json
+
+import pytest
+
+from repro.core import OnlineCP, SPOnline
+from repro.network import build_sdn
+from repro.simulation import (
+    TraceRecorder,
+    record_online_run,
+    run_online,
+)
+from repro.topology import gt_itm_flat
+from repro.workload import generate_workload
+
+
+@pytest.fixture
+def setup():
+    graph = gt_itm_flat(30, seed=61)
+    network = build_sdn(graph, seed=61)
+    requests = generate_workload(graph, 40, dmax_ratio=0.15, seed=62)
+    return graph, network, requests
+
+
+class TestRecordOnlineRun:
+    def test_one_event_per_request(self, setup):
+        _, network, requests = setup
+        stats, recorder = record_online_run(SPOnline(network), requests)
+        assert len(recorder) == len(requests)
+        assert stats.processed == len(requests)
+        admitted_events = recorder.admitted_events()
+        assert len(admitted_events) == stats.admitted
+
+    def test_stats_match_plain_run(self, setup):
+        graph, _, requests = setup
+        plain = run_online(SPOnline(build_sdn(graph, seed=61)), requests)
+        traced, _ = record_online_run(
+            SPOnline(build_sdn(graph, seed=61)), requests
+        )
+        assert traced.admitted == plain.admitted
+        assert traced.admitted_timeline == plain.admitted_timeline
+
+    def test_event_contents(self, setup):
+        _, network, requests = setup
+        _, recorder = record_online_run(OnlineCP(network), requests[:5])
+        event = recorder.events[0]
+        assert event.sequence == 0
+        assert event.request_id == requests[0].request_id
+        assert event.bandwidth == pytest.approx(requests[0].bandwidth)
+        if event.admitted:
+            assert event.servers
+            assert event.operational_cost > 0
+        assert 0.0 <= event.link_utilization <= 1.0
+
+    def test_utilization_series_monotone_without_departures(self, setup):
+        _, network, requests = setup
+        _, recorder = record_online_run(SPOnline(network), requests)
+        series = recorder.utilization_series()
+        assert len(series) == len(requests)
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+
+    def test_rejection_histogram_matches_stats(self, setup):
+        _, network, requests = setup
+        stats, recorder = record_online_run(SPOnline(network), requests)
+        histogram = recorder.rejection_histogram()
+        assert sum(histogram.values()) == stats.rejected
+
+
+class TestSerialization:
+    def test_jsonl_round_trip(self, setup, tmp_path):
+        _, network, requests = setup
+        _, recorder = record_online_run(SPOnline(network), requests[:10])
+        target = tmp_path / "trace.jsonl"
+        recorder.write_jsonl(str(target))
+        lines = target.read_text().strip().splitlines()
+        assert len(lines) == 10
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["sequence"] == 0
+        assert {"admitted", "reason", "servers"} <= set(parsed[0])
+
+    def test_empty_recorder(self, tmp_path):
+        recorder = TraceRecorder()
+        assert recorder.to_jsonl() == ""
+        assert recorder.rejection_histogram() == {}
+        target = tmp_path / "empty.jsonl"
+        recorder.write_jsonl(str(target))
+        assert target.read_text() == ""

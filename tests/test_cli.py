@@ -1,0 +1,49 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ["fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "all"]:
+            assert name in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--size", "25", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "network:" in out
+        assert "Online_CP admitted" in out
+
+    def test_unknown_profile_errors(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["fig5", "--profile", "nope"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_output_json_and_chart(self, tmp_path, capsys):
+        import json
+
+        markdown = tmp_path / "out.md"
+        payload = tmp_path / "out.json"
+        assert main([
+            "fig5", "--profile", "fast",
+            "--output", str(markdown),
+            "--json", str(payload),
+            "--chart",
+        ]) == 0
+        content = markdown.read_text()
+        assert "## fig5" in content
+        parsed = json.loads(payload.read_text())
+        assert "fig5" in parsed
+        assert parsed["fig5"][0]["series"]
+        out = capsys.readouterr().out
+        # the chart legend with series markers was printed
+        assert "o Appro_Multi" in out

@@ -1,0 +1,28 @@
+"""Run the library's embedded doctests (the docstring examples must work)."""
+
+import doctest
+
+import pytest
+
+import repro.graph.graph
+import repro.graph.heap
+import repro.graph.unionfind
+import repro.nfv.service_chain
+
+MODULES = [
+    repro.graph.graph,
+    repro.graph.heap,
+    repro.graph.unionfind,
+    repro.nfv.service_chain,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_module_doctests(module):
+    failures, attempted = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    )
+    assert attempted > 0, f"{module.__name__} has no doctests to run"
+    assert failures == 0

@@ -1,0 +1,62 @@
+"""Unit tests for the embedded GÉANT topology."""
+
+import pytest
+
+from repro.graph import is_connected
+from repro.topology import (
+    GEANT_EDGES,
+    GEANT_POSITIONS,
+    GEANT_SERVER_CITIES,
+    geant_graph,
+    geant_servers,
+)
+
+
+class TestGeant:
+    def test_scale_matches_real_network(self):
+        graph = geant_graph()
+        assert graph.num_nodes == 40
+        assert graph.num_edges == 61
+
+    def test_connected(self):
+        assert is_connected(geant_graph())
+
+    def test_all_edges_have_known_endpoints(self):
+        for u, v in GEANT_EDGES:
+            assert u in GEANT_POSITIONS, u
+            assert v in GEANT_POSITIONS, v
+
+    def test_no_duplicate_edges(self):
+        canonical = {tuple(sorted(edge)) for edge in GEANT_EDGES}
+        assert len(canonical) == len(GEANT_EDGES)
+
+    def test_weights_scaled_into_band(self):
+        graph = geant_graph()
+        weights = [w for _, _, w in graph.edges()]
+        assert min(weights) >= 1.0
+        assert max(weights) == pytest.approx(10.0)
+
+    def test_distance_ordering_preserved(self):
+        graph = geant_graph()
+        # a short hop should be cheaper than a continental one
+        assert graph.weight("Bratislava", "Vienna") < graph.weight(
+            "Frankfurt", "Moscow"
+        )
+
+    def test_nine_servers(self):
+        servers = geant_servers()
+        assert len(servers) == 9
+        assert len(set(servers)) == 9
+        graph = geant_graph()
+        for city in servers:
+            assert graph.has_node(city)
+
+    def test_servers_are_well_connected_hubs(self):
+        graph = geant_graph()
+        server_degrees = [graph.degree(c) for c in GEANT_SERVER_CITIES]
+        assert min(server_degrees) >= 3
+
+    def test_returns_copies(self):
+        servers = geant_servers()
+        servers.append("Atlantis")
+        assert "Atlantis" not in geant_servers()

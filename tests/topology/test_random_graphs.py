@@ -1,0 +1,138 @@
+"""Unit tests for the synthetic topology generators."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.graph import is_connected
+from repro.topology import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    gt_itm_flat,
+    transit_stub_graph,
+    waxman_graph,
+)
+
+
+class TestWaxman:
+    @pytest.mark.parametrize("n", [2, 10, 60])
+    def test_connected_with_exact_node_count(self, n):
+        graph, coords = waxman_graph(n, seed=1)
+        assert graph.num_nodes == n
+        assert is_connected(graph)
+        assert len(coords.positions) == n
+
+    def test_deterministic(self):
+        g1, _ = waxman_graph(30, seed=9)
+        g2, _ = waxman_graph(30, seed=9)
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+    def test_different_seeds_differ(self):
+        g1, _ = waxman_graph(30, seed=1)
+        g2, _ = waxman_graph(30, seed=2)
+        assert sorted(g1.edges()) != sorted(g2.edges())
+
+    def test_weights_in_band(self):
+        graph, _ = waxman_graph(40, seed=3)
+        for _, _, w in graph.edges():
+            assert 1.0 <= w <= 10.0
+
+    def test_alpha_raises_density(self):
+        sparse, _ = waxman_graph(40, alpha=0.1, beta=0.3, seed=4)
+        dense, _ = waxman_graph(40, alpha=0.9, beta=0.3, seed=4)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TopologyError):
+            waxman_graph(0)
+        with pytest.raises(TopologyError):
+            waxman_graph(10, alpha=0.0)
+        with pytest.raises(TopologyError):
+            waxman_graph(10, alpha=1.5)
+        with pytest.raises(TopologyError):
+            waxman_graph(10, beta=-1.0)
+
+
+class TestGtItmFlat:
+    @pytest.mark.parametrize("n", [50, 100, 250])
+    def test_degree_near_four(self, n):
+        graph = gt_itm_flat(n, seed=5)
+        degree = 2 * graph.num_edges / graph.num_nodes
+        assert 2.5 <= degree <= 6.0
+        assert is_connected(graph)
+
+    def test_deterministic(self):
+        assert sorted(gt_itm_flat(50, seed=2).edges()) == sorted(
+            gt_itm_flat(50, seed=2).edges()
+        )
+
+
+class TestErdosRenyi:
+    def test_connected(self):
+        graph = erdos_renyi_graph(40, p=0.1, seed=1)
+        assert graph.num_nodes == 40
+        assert is_connected(graph)
+
+    def test_p_zero_still_connected(self):
+        # bridging keeps the result usable
+        graph = erdos_renyi_graph(10, p=0.0, seed=1)
+        assert is_connected(graph)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TopologyError):
+            erdos_renyi_graph(0, 0.5)
+        with pytest.raises(TopologyError):
+            erdos_renyi_graph(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_structure(self):
+        graph = barabasi_albert_graph(50, m=2, seed=1)
+        assert graph.num_nodes == 50
+        assert is_connected(graph)
+        # m initial clique edges + 2 per arriving node
+        assert graph.num_edges == 1 + 2 * 48
+
+    def test_hub_formation(self):
+        graph = barabasi_albert_graph(200, m=1, seed=3)
+        degrees = sorted((graph.degree(n) for n in graph.nodes()), reverse=True)
+        assert degrees[0] >= 8  # preferential attachment creates hubs
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TopologyError):
+            barabasi_albert_graph(5, m=0)
+        with pytest.raises(TopologyError):
+            barabasi_albert_graph(3, m=3)
+
+
+class TestTransitStub:
+    def test_structure(self):
+        graph = transit_stub_graph(
+            transit_nodes=3, stubs_per_transit=2, stub_size=4, seed=1
+        )
+        expected_nodes = 3 + 3 * 2 * 4
+        assert graph.num_nodes == expected_nodes
+        assert is_connected(graph)
+        # hierarchy visible in labels
+        assert any(str(n).startswith("t") for n in graph.nodes())
+        assert any(str(n).startswith("s0.") for n in graph.nodes())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TopologyError):
+            transit_stub_graph(transit_nodes=1)
+        with pytest.raises(TopologyError):
+            transit_stub_graph(stub_size=0)
+
+
+class TestGrid:
+    def test_structure(self):
+        grid = grid_graph(3, 4)
+        assert grid.num_nodes == 12
+        assert grid.num_edges == 3 * 3 + 2 * 4  # 17
+        assert is_connected(grid)
+        assert grid.degree((0, 0)) == 2
+        assert grid.degree((1, 1)) == 4
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            grid_graph(0, 3)

@@ -1,0 +1,64 @@
+"""Unit tests for the Rocketfuel-style ISP topologies."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.graph import is_connected
+from repro.topology import (
+    ISP_PROFILES,
+    rocketfuel_graph,
+    rocketfuel_servers,
+)
+
+
+class TestProfiles:
+    def test_both_ases_present(self):
+        assert 1755 in ISP_PROFILES
+        assert 4755 in ISP_PROFILES
+
+    @pytest.mark.parametrize("asn", [1755, 4755])
+    def test_scale_matches_profile(self, asn):
+        profile = ISP_PROFILES[asn]
+        graph = rocketfuel_graph(asn)
+        assert graph.num_nodes == profile.num_nodes
+        assert graph.num_edges == profile.num_edges
+
+    @pytest.mark.parametrize("asn", [1755, 4755])
+    def test_connected(self, asn):
+        assert is_connected(rocketfuel_graph(asn))
+
+    @pytest.mark.parametrize("asn", [1755, 4755])
+    def test_deterministic_across_calls(self, asn):
+        g1 = rocketfuel_graph(asn)
+        g2 = rocketfuel_graph(asn)
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+    def test_heavy_tailed_degrees(self):
+        graph = rocketfuel_graph(1755)
+        degrees = sorted((graph.degree(n) for n in graph.nodes()), reverse=True)
+        # ISP backbones have a dense core: top nodes far above the mean
+        mean_degree = 2 * graph.num_edges / graph.num_nodes
+        assert degrees[0] >= 2.5 * mean_degree
+
+    def test_unknown_asn_raises(self):
+        with pytest.raises(TopologyError):
+            rocketfuel_graph(99999)
+        with pytest.raises(TopologyError):
+            rocketfuel_servers(99999)
+
+
+class TestServers:
+    @pytest.mark.parametrize("asn", [1755, 4755])
+    def test_server_count(self, asn):
+        servers = rocketfuel_servers(asn)
+        assert len(servers) == ISP_PROFILES[asn].num_servers
+        assert len(set(servers)) == len(servers)
+
+    def test_servers_are_high_degree(self):
+        graph = rocketfuel_graph(1755)
+        servers = rocketfuel_servers(1755)
+        server_min = min(graph.degree(v) for v in servers)
+        others = [
+            graph.degree(n) for n in graph.nodes() if n not in set(servers)
+        ]
+        assert server_min >= max(others) - 1  # top-of-degree selection

@@ -1,0 +1,112 @@
+"""Unit tests for the workload generator."""
+
+import pytest
+
+from repro.exceptions import RequestError
+from repro.topology import gt_itm_flat
+from repro.workload import (
+    RequestGenerator,
+    WorkloadConfig,
+    generate_workload,
+)
+
+
+@pytest.fixture
+def graph():
+    return gt_itm_flat(50, seed=1)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = WorkloadConfig()
+        assert config.bandwidth_range == (50.0, 200.0)
+        assert config.ratio_bounds == (0.05, 0.2)
+        assert config.chain_length_range == (1, 3)
+
+    def test_fixed_ratio(self):
+        config = WorkloadConfig(dmax_ratio=0.1)
+        assert config.ratio_bounds == (0.1, 0.1)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(RequestError):
+            WorkloadConfig(dmax_ratio=0.0)
+        with pytest.raises(RequestError):
+            WorkloadConfig(dmax_ratio=1.5)
+        with pytest.raises(RequestError):
+            WorkloadConfig(dmax_ratio=(0.2, 0.1))
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(RequestError):
+            WorkloadConfig(bandwidth_range=(0.0, 10.0))
+        with pytest.raises(RequestError):
+            WorkloadConfig(bandwidth_range=(20.0, 10.0))
+
+    def test_invalid_chain_lengths(self):
+        with pytest.raises(RequestError):
+            WorkloadConfig(chain_length_range=(0, 2))
+        with pytest.raises(RequestError):
+            WorkloadConfig(chain_length_range=(3, 1))
+
+
+class TestGenerator:
+    def test_sequential_ids(self, graph):
+        generator = RequestGenerator(graph, WorkloadConfig(seed=1))
+        requests = generator.generate(5)
+        assert [r.request_id for r in requests] == [1, 2, 3, 4, 5]
+
+    def test_deterministic(self, graph):
+        a = generate_workload(graph, 20, seed=3)
+        b = generate_workload(graph, 20, seed=3)
+        for x, y in zip(a, b):
+            assert x.source == y.source
+            assert x.destinations == y.destinations
+            assert x.bandwidth == y.bandwidth
+            assert x.chain.kinds == y.chain.kinds
+
+    def test_seeds_differ(self, graph):
+        a = generate_workload(graph, 20, seed=3)
+        b = generate_workload(graph, 20, seed=4)
+        assert any(
+            x.source != y.source or x.destinations != y.destinations
+            for x, y in zip(a, b)
+        )
+
+    def test_paper_parameter_ranges(self, graph):
+        requests = generate_workload(graph, 200, dmax_ratio=0.2, seed=5)
+        dmax = max(1, round(0.2 * graph.num_nodes))
+        for request in requests:
+            assert 50.0 <= request.bandwidth <= 200.0
+            assert 1 <= request.num_destinations <= dmax
+            assert 1 <= request.chain.length <= 3
+            assert request.source not in request.destinations
+            assert graph.has_node(request.source)
+            for destination in request.destinations:
+                assert graph.has_node(destination)
+
+    def test_ranged_ratio_covers_band(self, graph):
+        requests = generate_workload(
+            graph, 300, dmax_ratio=(0.05, 0.2), seed=6
+        )
+        counts = [r.num_destinations for r in requests]
+        upper = max(1, round(0.2 * graph.num_nodes))
+        assert max(counts) <= upper
+        assert min(counts) >= 1
+        # a healthy spread, not all stuck at one value
+        assert len(set(counts)) > 3
+
+    def test_stream_is_lazy_and_equivalent(self, graph):
+        eager = RequestGenerator(graph, WorkloadConfig(seed=9)).generate(5)
+        lazy = list(RequestGenerator(graph, WorkloadConfig(seed=9)).stream(5))
+        assert [r.destinations for r in eager] == [r.destinations for r in lazy]
+
+    def test_negative_count_rejected(self, graph):
+        with pytest.raises(RequestError):
+            generate_workload(graph, -1)
+
+    def test_tiny_graph_rejected(self):
+        from repro.graph import Graph
+
+        single = Graph()
+        single.add_node("only")
+        with pytest.raises(RequestError):
+            RequestGenerator(single)

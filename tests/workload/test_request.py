@@ -1,0 +1,66 @@
+"""Unit tests for MulticastRequest."""
+
+import pytest
+
+from repro.exceptions import RequestError
+from repro.nfv import FunctionType, ServiceChain
+from repro.workload import MulticastRequest
+
+
+@pytest.fixture
+def chain():
+    return ServiceChain.of(FunctionType.NAT, FunctionType.IDS)
+
+
+class TestValidation:
+    def test_valid_request(self, chain):
+        request = MulticastRequest.create(
+            1, "s", ["d1", "d2"], 100.0, chain
+        )
+        assert request.source == "s"
+        assert request.destinations == frozenset({"d1", "d2"})
+        assert request.num_destinations == 2
+
+    def test_empty_destinations_rejected(self, chain):
+        with pytest.raises(RequestError):
+            MulticastRequest.create(1, "s", [], 100.0, chain)
+
+    def test_source_in_destinations_rejected(self, chain):
+        with pytest.raises(RequestError):
+            MulticastRequest.create(1, "s", ["s", "d"], 100.0, chain)
+
+    def test_nonpositive_bandwidth_rejected(self, chain):
+        with pytest.raises(RequestError):
+            MulticastRequest.create(1, "s", ["d"], 0.0, chain)
+        with pytest.raises(RequestError):
+            MulticastRequest.create(1, "s", ["d"], -5.0, chain)
+
+
+class TestDerived:
+    def test_compute_demand_delegates_to_chain(self, chain):
+        request = MulticastRequest.create(1, "s", ["d"], 150.0, chain)
+        assert request.compute_demand == pytest.approx(
+            chain.compute_demand(150.0)
+        )
+
+    def test_duplicate_destinations_collapse(self, chain):
+        request = MulticastRequest.create(1, "s", ["d", "d", "e"], 10.0, chain)
+        assert request.num_destinations == 2
+
+    def test_describe(self, chain):
+        request = MulticastRequest.create(7, "s", ["d"], 100.0, chain)
+        text = request.describe()
+        assert "r7" in text
+        assert "100" in text
+        assert "nat" in text
+
+    def test_frozen(self, chain):
+        request = MulticastRequest.create(1, "s", ["d"], 100.0, chain)
+        with pytest.raises(Exception):
+            request.bandwidth = 5.0
+
+    def test_hashable(self, chain):
+        r1 = MulticastRequest.create(1, "s", ["d"], 100.0, chain)
+        r2 = MulticastRequest.create(1, "s", ["d"], 100.0, chain)
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
