@@ -17,7 +17,7 @@ Four studies, each isolating one knob:
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List, Tuple
 
 from repro.analysis.common import build_random_network, make_requests
 from repro.analysis.profiles import ONLINE_ALPHA_BETA, ExperimentProfile
@@ -32,18 +32,40 @@ from repro.core import (
     optimal_auxiliary_cost,
 )
 from repro.network.sdn import build_sdn
-from repro.simulation import run_offline, run_online
+from repro.simulation import parallel_map, run_offline, run_online
 from repro.topology.random_graphs import gt_itm_flat
 
 
-def ablate_k(profile: ExperimentProfile) -> FigureResult:
-    """Sweep ``K`` ∈ {1, 2, 3} on a mid-size random network."""
-    size = profile.network_sizes[-1] if profile.name == "fast" else 100
+def _ablate_k_point(
+    profile: ExperimentProfile, size: int, k: int
+) -> Tuple[float, float, float]:
+    """One ``K`` data point: (mean cost, mean time, combinations/request)."""
     seed = profile.seed_for("ablate-k", size)
     network = build_random_network(size, seed)
     requests = make_requests(
         network.graph, profile.offline_requests, 0.1, seed + 1
     )
+    total_combos = 0
+
+    def solver(net, req):
+        nonlocal total_combos
+        detailed = appro_multi_detailed(net, req, max_servers=k)
+        total_combos += (
+            detailed.combinations_evaluated + detailed.combinations_pruned
+        )
+        return detailed.tree
+
+    stats = run_offline(solver, network, requests)
+    return (
+        stats.mean_cost,
+        stats.mean_runtime,
+        total_combos / max(1, stats.solved),
+    )
+
+
+def ablate_k(profile: ExperimentProfile) -> FigureResult:
+    """Sweep ``K`` ∈ {1, 2, 3} on a mid-size random network."""
+    size = profile.network_sizes[-1] if profile.name == "fast" else 100
     ks = [1, 2, 3]
     result = FigureResult(
         figure_id="ablation-k",
@@ -52,26 +74,51 @@ def ablate_k(profile: ExperimentProfile) -> FigureResult:
         xs=[float(k) for k in ks],
         metadata={"profile": profile.name, "network_size": size},
     )
+    points = parallel_map(
+        _ablate_k_point, [(profile, size, k) for k in ks]
+    )
     costs, times, combos = [], [], []
-    for k in ks:
-        total_combos = 0
-
-        def solver(net, req, k=k):
-            nonlocal total_combos
-            detailed = appro_multi_detailed(net, req, max_servers=k)
-            total_combos += (
-                detailed.combinations_evaluated + detailed.combinations_pruned
-            )
-            return detailed.tree
-
-        stats = run_offline(solver, network, requests)
-        costs.append(stats.mean_cost)
-        times.append(stats.mean_runtime)
-        combos.append(total_combos / max(1, stats.solved))
+    for cost, runtime, combos_per_request in points:
+        costs.append(cost)
+        times.append(runtime)
+        combos.append(combos_per_request)
     result.add_series("mean cost", costs)
     result.add_series("mean time (s)", times)
     result.add_series("combinations/request", combos)
     return result
+
+
+def _cost_model_variants() -> List[Tuple[str, Callable]]:
+    """The pricing variants, in a fixed order shared by point and driver."""
+    return [
+        (
+            f"exponential (α=β={ONLINE_ALPHA_BETA:g})",
+            lambda: ExponentialCostModel(
+                alpha=ONLINE_ALPHA_BETA, beta=ONLINE_ALPHA_BETA
+            ),
+        ),
+        ("exponential (α=β=2|V|)", lambda: ExponentialCostModel()),
+        ("linear-in-utilization", UtilizationCostModel),
+        ("static linear (strawman)", LinearCostModel),
+    ]
+
+
+def _ablate_cost_model_point(
+    profile: ExperimentProfile, size: int
+) -> Tuple[float, ...]:
+    """Admissions per pricing variant (order of ``_cost_model_variants``)."""
+    seed = profile.seed_for("ablate-model", size)
+    graph = gt_itm_flat(size, seed=seed)
+    requests = make_requests(
+        graph, profile.online_requests, None, seed + 1
+    )
+    admitted = []
+    for _, make_model in _cost_model_variants():
+        network = build_sdn(graph, seed=seed)
+        algorithm = OnlineCP(network, cost_model=make_model())
+        stats = run_online(algorithm, requests)
+        admitted.append(float(stats.admitted))
+    return tuple(admitted)
 
 
 def ablate_cost_model(profile: ExperimentProfile) -> FigureResult:
@@ -87,49 +134,19 @@ def ablate_cost_model(profile: ExperimentProfile) -> FigureResult:
         xs=[float(s) for s in sizes],
         metadata={"profile": profile.name},
     )
-    variants = [
-        (
-            f"exponential (α=β={ONLINE_ALPHA_BETA:g})",
-            lambda: ExponentialCostModel(
-                alpha=ONLINE_ALPHA_BETA, beta=ONLINE_ALPHA_BETA
-            ),
-        ),
-        ("exponential (α=β=2|V|)", lambda: ExponentialCostModel()),
-        ("linear-in-utilization", UtilizationCostModel),
-        ("static linear (strawman)", LinearCostModel),
-    ]
-    columns = {label: [] for label, _ in variants}
-    for size in sizes:
-        seed = profile.seed_for("ablate-model", size)
-        graph = gt_itm_flat(size, seed=seed)
-        requests = make_requests(
-            graph, profile.online_requests, None, seed + 1
-        )
-        for label, make_model in variants:
-            network = build_sdn(graph, seed=seed)
-            algorithm = OnlineCP(network, cost_model=make_model())
-            stats = run_online(algorithm, requests)
-            columns[label].append(float(stats.admitted))
-    for label, _ in variants:
-        result.add_series(label, columns[label])
+    labels = [label for label, _ in _cost_model_variants()]
+    points = parallel_map(
+        _ablate_cost_model_point, [(profile, size) for size in sizes]
+    )
+    for column, label in enumerate(labels):
+        result.add_series(label, [point[column] for point in points])
     return result
 
 
-def ablate_thresholds(profile: ExperimentProfile) -> FigureResult:
-    """Compare the paper's σ = |V|−1 thresholds against disabled ones."""
-    sizes = list(profile.network_sizes)
-    result = FigureResult(
-        figure_id="ablation-thresholds",
-        title=(
-            f"Online_CP admissions out of {profile.online_requests}: "
-            "σ = |V|−1 vs σ = ∞ (per cost-model base)"
-        ),
-        x_label="network size |V|",
-        xs=[float(s) for s in sizes],
-        metadata={"profile": profile.name},
-    )
+def _threshold_variants() -> List[Tuple[str, Callable]]:
+    """Admission-policy variants, in a fixed order shared by point/driver."""
     unlimited = AdmissionPolicy(sigma_v=float("inf"), sigma_e=float("inf"))
-    variants = [
+    return [
         ("2|V| base, σ=|V|−1", lambda net: OnlineCP(net)),
         (
             "2|V| base, σ=∞",
@@ -145,20 +162,66 @@ def ablate_thresholds(profile: ExperimentProfile) -> FigureResult:
             ),
         ),
     ]
-    columns = {label: [] for label, _ in variants}
-    for size in sizes:
-        seed = profile.seed_for("ablate-sigma", size)
-        graph = gt_itm_flat(size, seed=seed)
-        requests = make_requests(
-            graph, profile.online_requests, None, seed + 1
-        )
-        for label, make_algorithm in variants:
-            network = build_sdn(graph, seed=seed)
-            stats = run_online(make_algorithm(network), requests)
-            columns[label].append(float(stats.admitted))
-    for label, _ in variants:
-        result.add_series(label, columns[label])
+
+
+def _ablate_thresholds_point(
+    profile: ExperimentProfile, size: int
+) -> Tuple[float, ...]:
+    """Admissions per policy variant (order of ``_threshold_variants``)."""
+    seed = profile.seed_for("ablate-sigma", size)
+    graph = gt_itm_flat(size, seed=seed)
+    requests = make_requests(
+        graph, profile.online_requests, None, seed + 1
+    )
+    admitted = []
+    for _, make_algorithm in _threshold_variants():
+        network = build_sdn(graph, seed=seed)
+        stats = run_online(make_algorithm(network), requests)
+        admitted.append(float(stats.admitted))
+    return tuple(admitted)
+
+
+def ablate_thresholds(profile: ExperimentProfile) -> FigureResult:
+    """Compare the paper's σ = |V|−1 thresholds against disabled ones."""
+    sizes = list(profile.network_sizes)
+    result = FigureResult(
+        figure_id="ablation-thresholds",
+        title=(
+            f"Online_CP admissions out of {profile.online_requests}: "
+            "σ = |V|−1 vs σ = ∞ (per cost-model base)"
+        ),
+        x_label="network size |V|",
+        xs=[float(s) for s in sizes],
+        metadata={"profile": profile.name},
+    )
+    labels = [label for label, _ in _threshold_variants()]
+    points = parallel_map(
+        _ablate_thresholds_point, [(profile, size) for size in sizes]
+    )
+    for column, label in enumerate(labels):
+        result.add_series(label, [point[column] for point in points])
     return result
+
+
+def _ablate_kmb_point(profile: ExperimentProfile, seed: int) -> float:
+    """One small-instance cost ratio (Appro_Multi / exact optimum)."""
+    import random
+
+    from repro.graph.graph import Graph
+    from repro.topology.random_graphs import waxman_graph
+
+    # high-variance random weights make the KMB heuristic actually miss
+    # the optimum sometimes (uniform geometric weights are too easy)
+    base, _ = waxman_graph(24, alpha=0.45, beta=0.45, seed=seed)
+    rng = random.Random(seed + 1000)
+    graph = Graph()
+    for u, v, _ in base.edges():
+        graph.add_edge(u, v, rng.uniform(1.0, 60.0))
+    network = build_sdn(graph, seed=seed, server_fraction=0.25)
+    request = make_requests(graph, 1, 0.25, seed + 500)[0]
+    detailed = appro_multi_detailed(network, request, max_servers=2)
+    exact_cost, _ = optimal_auxiliary_cost(network, request, max_servers=2)
+    return detailed.tree.total_cost / exact_cost
 
 
 def ablate_kmb_quality(profile: ExperimentProfile) -> FigureResult:
@@ -168,11 +231,6 @@ def ablate_kmb_quality(profile: ExperimentProfile) -> FigureResult:
     guarantees the ratio is at most 2; observing it well below 2 on random
     instances is the expected outcome.
     """
-    import random
-
-    from repro.graph.graph import Graph
-    from repro.topology.random_graphs import waxman_graph
-
     seeds = list(range(8 if profile.name == "fast" else 20))
     result = FigureResult(
         figure_id="ablation-kmb",
@@ -181,29 +239,48 @@ def ablate_kmb_quality(profile: ExperimentProfile) -> FigureResult:
         xs=[float(s) for s in seeds],
         metadata={"profile": profile.name, "bound": 2.0},
     )
-    ratios = []
-    for seed in seeds:
-        # high-variance random weights make the KMB heuristic actually miss
-        # the optimum sometimes (uniform geometric weights are too easy)
-        base, _ = waxman_graph(24, alpha=0.45, beta=0.45, seed=seed)
-        rng = random.Random(seed + 1000)
-        graph = Graph()
-        for u, v, _ in base.edges():
-            graph.add_edge(u, v, rng.uniform(1.0, 60.0))
-        network = build_sdn(graph, seed=seed, server_fraction=0.25)
-        request = make_requests(graph, 1, 0.25, seed + 500)[0]
-        detailed = appro_multi_detailed(network, request, max_servers=2)
-        exact_cost, _ = optimal_auxiliary_cost(network, request, max_servers=2)
-        ratios.append(detailed.tree.total_cost / exact_cost)
+    ratios = parallel_map(
+        _ablate_kmb_point, [(profile, seed) for seed in seeds]
+    )
     result.add_series("cost ratio", ratios)
     return result
+
+
+def _online_k_variants() -> List[Tuple[str, Callable]]:
+    """Online-algorithm variants, in a fixed order shared by point/driver."""
+    from repro.core import OnlineCPK, SPOnline
+
+    model = lambda: ExponentialCostModel(
+        alpha=ONLINE_ALPHA_BETA, beta=ONLINE_ALPHA_BETA
+    )
+    return [
+        ("Online_CP (paper, K=1)", lambda net: OnlineCP(net, cost_model=model())),
+        ("OnlineCPK K=1", lambda net: OnlineCPK(net, 1, cost_model=model())),
+        ("OnlineCPK K=2", lambda net: OnlineCPK(net, 2, cost_model=model())),
+        ("SP", SPOnline),
+    ]
+
+
+def _ablate_online_k_point(
+    profile: ExperimentProfile, size: int
+) -> Tuple[float, ...]:
+    """Admissions per online variant (order of ``_online_k_variants``)."""
+    seed = profile.seed_for("ablate-online-k", size)
+    graph = gt_itm_flat(size, seed=seed)
+    requests = make_requests(
+        graph, profile.online_requests, None, seed + 1
+    )
+    admitted = []
+    for _, make_algorithm in _online_k_variants():
+        network = build_sdn(graph, seed=seed)
+        stats = run_online(make_algorithm(network), requests)
+        admitted.append(float(stats.admitted))
+    return tuple(admitted)
 
 
 def ablate_online_k(profile: ExperimentProfile) -> FigureResult:
     """The multi-server *online* extension: OnlineCPK at K ∈ {1, 2} vs the
     paper's OnlineCP (K = 1) and SP, per network size."""
-    from repro.core import OnlineCPK, SPOnline
-
     sizes = list(profile.network_sizes)
     result = FigureResult(
         figure_id="ablation-online-k",
@@ -215,29 +292,54 @@ def ablate_online_k(profile: ExperimentProfile) -> FigureResult:
         xs=[float(s) for s in sizes],
         metadata={"profile": profile.name},
     )
-    model = lambda: ExponentialCostModel(
-        alpha=ONLINE_ALPHA_BETA, beta=ONLINE_ALPHA_BETA
+    labels = [label for label, _ in _online_k_variants()]
+    points = parallel_map(
+        _ablate_online_k_point, [(profile, size) for size in sizes]
     )
-    variants = [
-        ("Online_CP (paper, K=1)", lambda net: OnlineCP(net, cost_model=model())),
-        ("OnlineCPK K=1", lambda net: OnlineCPK(net, 1, cost_model=model())),
-        ("OnlineCPK K=2", lambda net: OnlineCPK(net, 2, cost_model=model())),
-        ("SP", SPOnline),
-    ]
-    columns = {label: [] for label, _ in variants}
-    for size in sizes:
-        seed = profile.seed_for("ablate-online-k", size)
-        graph = gt_itm_flat(size, seed=seed)
-        requests = make_requests(
-            graph, profile.online_requests, None, seed + 1
-        )
-        for label, make_algorithm in variants:
-            network = build_sdn(graph, seed=seed)
-            stats = run_online(make_algorithm(network), requests)
-            columns[label].append(float(stats.admitted))
-    for label, _ in variants:
-        result.add_series(label, columns[label])
+    for column, label in enumerate(labels):
+        result.add_series(label, [point[column] for point in points])
     return result
+
+
+def _topology_families() -> List[Tuple[str, Callable]]:
+    """Topology factories, in a fixed order shared by point and driver."""
+    from repro.topology.random_graphs import (
+        barabasi_albert_graph,
+        erdos_renyi_graph,
+        transit_stub_graph,
+    )
+
+    return [
+        ("GT-ITM flat", lambda seed: gt_itm_flat(60, seed=seed)),
+        (
+            "transit-stub",
+            lambda seed: transit_stub_graph(4, 3, 4, seed=seed),
+        ),
+        ("Barabasi-Albert", lambda seed: barabasi_albert_graph(60, 2, seed=seed)),
+        ("Erdos-Renyi", lambda seed: erdos_renyi_graph(60, 0.07, seed=seed)),
+    ]
+
+
+def _ablate_topology_point(
+    profile: ExperimentProfile, name: str
+) -> Tuple[float, float]:
+    """Mean Appro_Multi and Alg_One_Server cost on one topology family."""
+    from repro.core import alg_one_server, appro_multi
+
+    make_graph = dict(_topology_families())[name]
+    seed = profile.seed_for("ablate-topology", name)
+    graph = make_graph(seed)
+    network = build_sdn(graph, seed=seed)
+    requests = make_requests(
+        graph, profile.offline_requests, 0.1, seed + 1
+    )
+    appro_stats = run_offline(
+        lambda net, req: appro_multi(net, req, max_servers=2),
+        network,
+        requests,
+    )
+    base_stats = run_offline(alg_one_server, network, requests)
+    return (appro_stats.mean_cost, base_stats.mean_cost)
 
 
 def ablate_topology_family(profile: ExperimentProfile) -> FigureResult:
@@ -249,22 +351,7 @@ def ablate_topology_family(profile: ExperimentProfile) -> FigureResult:
     the cost comparison on transit–stub, Barabási–Albert, and Erdős–Rényi
     topologies of comparable scale.
     """
-    from repro.core import alg_one_server, appro_multi
-    from repro.topology.random_graphs import (
-        barabasi_albert_graph,
-        erdos_renyi_graph,
-        transit_stub_graph,
-    )
-
-    families = [
-        ("GT-ITM flat", lambda seed: gt_itm_flat(60, seed=seed)),
-        (
-            "transit-stub",
-            lambda seed: transit_stub_graph(4, 3, 4, seed=seed),
-        ),
-        ("Barabasi-Albert", lambda seed: barabasi_albert_graph(60, 2, seed=seed)),
-        ("Erdos-Renyi", lambda seed: erdos_renyi_graph(60, 0.07, seed=seed)),
-    ]
+    families = _topology_families()
     result = FigureResult(
         figure_id="ablation-topology",
         title=(
@@ -278,26 +365,16 @@ def ablate_topology_family(profile: ExperimentProfile) -> FigureResult:
             "families": ", ".join(name for name, _ in families),
         },
     )
+    points = parallel_map(
+        _ablate_topology_point,
+        [(profile, name) for name, _ in families],
+    )
     appro_means, base_means, gap_ratios = [], [], []
-    for index, (name, make_graph) in enumerate(families):
-        seed = profile.seed_for("ablate-topology", name)
-        graph = make_graph(seed)
-        network = build_sdn(graph, seed=seed)
-        requests = make_requests(
-            graph, profile.offline_requests, 0.1, seed + 1
-        )
-        appro_stats = run_offline(
-            lambda net, req: appro_multi(net, req, max_servers=2),
-            network,
-            requests,
-        )
-        base_stats = run_offline(alg_one_server, network, requests)
-        appro_means.append(appro_stats.mean_cost)
-        base_means.append(base_stats.mean_cost)
+    for appro_mean, base_mean in points:
+        appro_means.append(appro_mean)
+        base_means.append(base_mean)
         gap_ratios.append(
-            appro_stats.mean_cost / base_stats.mean_cost
-            if base_stats.mean_cost
-            else 1.0
+            appro_mean / base_mean if base_mean else 1.0
         )
     result.add_series("Appro_Multi mean cost", appro_means)
     result.add_series("Alg_One_Server mean cost", base_means)

@@ -14,21 +14,58 @@ combinations).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from repro.analysis.common import build_random_network, make_requests
 from repro.analysis.profiles import ExperimentProfile
 from repro.analysis.series import FigureResult
 from repro.core import alg_one_server, appro_multi
-from repro.simulation import run_offline
+from repro.simulation import parallel_map, run_offline
+
+
+def _fig5_point(
+    profile: ExperimentProfile, ratio: float, size: int
+) -> Tuple[float, float, float, float]:
+    """One (ratio, size) data point; all randomness from ``seed_for``."""
+    seed = profile.seed_for("fig5", ratio, size)
+    network = build_random_network(size, seed)
+    requests = make_requests(
+        network.graph, profile.offline_requests, ratio, seed + 1
+    )
+    appro_stats = run_offline(
+        lambda net, req: appro_multi(
+            net, req, max_servers=profile.max_servers
+        ),
+        network,
+        requests,
+    )
+    base_stats = run_offline(alg_one_server, network, requests)
+    return (
+        appro_stats.mean_cost,
+        appro_stats.mean_runtime,
+        base_stats.mean_cost,
+        base_stats.mean_runtime,
+    )
 
 
 def run_fig5(profile: ExperimentProfile) -> List[FigureResult]:
     """Reproduce every panel of Fig. 5 under ``profile``.
 
     Returns one cost panel and one running-time panel per ratio in
-    ``profile.ratios``.
+    ``profile.ratios``.  Data points are independent trials and run on the
+    process pool (see :mod:`repro.simulation.parallel`).
     """
+    grid = [
+        (profile, ratio, size)
+        for ratio in profile.ratios
+        for size in profile.network_sizes
+    ]
+    points = parallel_map(_fig5_point, grid)
+    by_key = {
+        (ratio, size): point
+        for (_, ratio, size), point in zip(grid, points)
+    }
+
     results: List[FigureResult] = []
     for ratio in profile.ratios:
         cost_panel = FigureResult(
@@ -59,23 +96,13 @@ def run_fig5(profile: ExperimentProfile) -> List[FigureResult]:
         appro_costs, appro_times = [], []
         base_costs, base_times = [], []
         for size in profile.network_sizes:
-            seed = profile.seed_for("fig5", ratio, size)
-            network = build_random_network(size, seed)
-            requests = make_requests(
-                network.graph, profile.offline_requests, ratio, seed + 1
-            )
-            appro_stats = run_offline(
-                lambda net, req: appro_multi(
-                    net, req, max_servers=profile.max_servers
-                ),
-                network,
-                requests,
-            )
-            base_stats = run_offline(alg_one_server, network, requests)
-            appro_costs.append(appro_stats.mean_cost)
-            appro_times.append(appro_stats.mean_runtime)
-            base_costs.append(base_stats.mean_cost)
-            base_times.append(base_stats.mean_runtime)
+            appro_cost, appro_time, base_cost, base_time = by_key[
+                (ratio, size)
+            ]
+            appro_costs.append(appro_cost)
+            appro_times.append(appro_time)
+            base_costs.append(base_cost)
+            base_times.append(base_time)
 
         cost_panel.add_series("Appro_Multi", appro_costs)
         cost_panel.add_series("Alg_One_Server", base_costs)

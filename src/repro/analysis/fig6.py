@@ -11,17 +11,42 @@ costs grow with the ratio (more destinations → bigger trees).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from repro.analysis.common import build_real_network, make_requests
 from repro.analysis.profiles import ExperimentProfile
 from repro.analysis.series import FigureResult
 from repro.core import alg_one_server, appro_multi
-from repro.simulation import run_offline
+from repro.simulation import parallel_map, run_offline
 
 #: The ratio sweep shown in the paper's Fig. 6.
 FIG6_RATIOS = (0.05, 0.1, 0.15, 0.2)
 FIG6_TOPOLOGIES = ("GEANT", "AS1755", "AS4755")
+
+
+def _fig6_point(
+    profile: ExperimentProfile, name: str, ratio: float
+) -> Tuple[float, float, float, float]:
+    """One (topology, ratio) data point; all randomness from ``seed_for``."""
+    seed = profile.seed_for("fig6", name, ratio)
+    network = build_real_network(name, seed)
+    requests = make_requests(
+        network.graph, profile.offline_requests, ratio, seed + 1
+    )
+    appro_stats = run_offline(
+        lambda net, req: appro_multi(
+            net, req, max_servers=profile.max_servers
+        ),
+        network,
+        requests,
+    )
+    base_stats = run_offline(alg_one_server, network, requests)
+    return (
+        appro_stats.mean_cost,
+        appro_stats.mean_runtime,
+        base_stats.mean_cost,
+        base_stats.mean_runtime,
+    )
 
 
 def run_fig6(
@@ -31,6 +56,14 @@ def run_fig6(
     """Reproduce the cost and running-time panels of Fig. 6."""
     results: List[FigureResult] = []
     ratios = list(FIG6_RATIOS)
+    grid = [
+        (profile, name, ratio) for name in topologies for ratio in ratios
+    ]
+    points = parallel_map(_fig6_point, grid)
+    by_key = {
+        (name, ratio): point
+        for (_, name, ratio), point in zip(grid, points)
+    }
     for name in topologies:
         cost_panel = FigureResult(
             figure_id=f"fig6-cost-{name.lower()}",
@@ -52,23 +85,13 @@ def run_fig6(
         )
         appro_costs, appro_times, base_costs, base_times = [], [], [], []
         for ratio in ratios:
-            seed = profile.seed_for("fig6", name, ratio)
-            network = build_real_network(name, seed)
-            requests = make_requests(
-                network.graph, profile.offline_requests, ratio, seed + 1
-            )
-            appro_stats = run_offline(
-                lambda net, req: appro_multi(
-                    net, req, max_servers=profile.max_servers
-                ),
-                network,
-                requests,
-            )
-            base_stats = run_offline(alg_one_server, network, requests)
-            appro_costs.append(appro_stats.mean_cost)
-            appro_times.append(appro_stats.mean_runtime)
-            base_costs.append(base_stats.mean_cost)
-            base_times.append(base_stats.mean_runtime)
+            appro_cost, appro_time, base_cost, base_time = by_key[
+                (name, ratio)
+            ]
+            appro_costs.append(appro_cost)
+            appro_times.append(appro_time)
+            base_costs.append(base_cost)
+            base_times.append(base_time)
         cost_panel.add_series("Appro_Multi", appro_costs)
         cost_panel.add_series("Alg_One_Server", base_costs)
         time_panel.add_series("Appro_Multi", appro_times)

@@ -14,13 +14,17 @@ the network provide the Fig. 5(c) reference curve.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from repro.analysis.common import build_random_network, make_requests
 from repro.analysis.profiles import ExperimentProfile
 from repro.analysis.series import FigureResult
 from repro.core import appro_multi, appro_multi_cap
-from repro.simulation import run_offline, run_sequential_capacitated
+from repro.simulation import (
+    parallel_map,
+    run_offline,
+    run_sequential_capacitated,
+)
 
 #: The destination ratio the paper fixes for Fig. 7.
 FIG7_RATIO = 0.2
@@ -29,6 +33,47 @@ FIG7_RATIO = 0.2
 #: cost gap saturates once the network carries sustained load (well under
 #: this many admissions); beyond that extra requests only add runtime.
 FIG7_MAX_REQUESTS = 120
+
+
+def _fig7_point(
+    profile: ExperimentProfile, size: int
+) -> Tuple[float, float, float, float]:
+    """One network-size data point; all randomness from ``seed_for``."""
+    seed = profile.seed_for("fig7", size)
+    requests_seed = seed + 1
+    capacitated = build_random_network(size, seed)
+    # A long sequential batch so later requests really do see depleted
+    # links and servers (with a short batch the capacitated and
+    # uncapacitated curves coincide trivially), capped where the gap
+    # has already saturated.
+    batch = min(
+        max(profile.online_requests, profile.offline_requests),
+        FIG7_MAX_REQUESTS,
+    )
+    requests = make_requests(
+        capacitated.graph, batch, FIG7_RATIO, requests_seed,
+    )
+    cap_stats = run_sequential_capacitated(
+        lambda net, req: appro_multi_cap(
+            net, req, max_servers=profile.max_servers
+        ),
+        capacitated,
+        requests,
+    )
+    reference = build_random_network(size, seed)
+    uncap_stats = run_offline(
+        lambda net, req: appro_multi(
+            net, req, max_servers=profile.max_servers
+        ),
+        reference,
+        requests,
+    )
+    return (
+        cap_stats.mean_cost,
+        cap_stats.mean_runtime,
+        uncap_stats.mean_cost,
+        float(cap_stats.infeasible),
+    )
 
 
 def run_fig7(profile: ExperimentProfile) -> List[FigureResult]:
@@ -65,41 +110,15 @@ def run_fig7(profile: ExperimentProfile) -> List[FigureResult]:
         metadata={"profile": profile.name},
     )
 
+    grid = [(profile, size) for size in profile.network_sizes]
+    points = parallel_map(_fig7_point, grid)
+
     cap_costs, cap_times, uncap_costs, rejections = [], [], [], []
-    for size in profile.network_sizes:
-        seed = profile.seed_for("fig7", size)
-        requests_seed = seed + 1
-        capacitated = build_random_network(size, seed)
-        # A long sequential batch so later requests really do see depleted
-        # links and servers (with a short batch the capacitated and
-        # uncapacitated curves coincide trivially), capped where the gap
-        # has already saturated.
-        batch = min(
-            max(profile.online_requests, profile.offline_requests),
-            FIG7_MAX_REQUESTS,
-        )
-        requests = make_requests(
-            capacitated.graph, batch, FIG7_RATIO, requests_seed,
-        )
-        cap_stats = run_sequential_capacitated(
-            lambda net, req: appro_multi_cap(
-                net, req, max_servers=profile.max_servers
-            ),
-            capacitated,
-            requests,
-        )
-        reference = build_random_network(size, seed)
-        uncap_stats = run_offline(
-            lambda net, req: appro_multi(
-                net, req, max_servers=profile.max_servers
-            ),
-            reference,
-            requests,
-        )
-        cap_costs.append(cap_stats.mean_cost)
-        cap_times.append(cap_stats.mean_runtime)
-        uncap_costs.append(uncap_stats.mean_cost)
-        rejections.append(float(cap_stats.infeasible))
+    for cap_cost, cap_time, uncap_cost, rejected in points:
+        cap_costs.append(cap_cost)
+        cap_times.append(cap_time)
+        uncap_costs.append(uncap_cost)
+        rejections.append(rejected)
 
     cost_panel.add_series("Appro_Multi_Cap", cap_costs)
     cost_panel.add_series("Appro_Multi (uncapacitated)", uncap_costs)

@@ -9,7 +9,7 @@ destinations, i.e. hungrier trees).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from repro.analysis.common import (
     build_random_network,
@@ -19,7 +19,30 @@ from repro.analysis.common import (
 )
 from repro.analysis.profiles import ExperimentProfile
 from repro.analysis.series import FigureResult
-from repro.simulation import run_online
+from repro.simulation import parallel_map, run_online
+
+
+def _fig8_point(
+    profile: ExperimentProfile, size: int
+) -> Tuple[float, float, float, float]:
+    """One network-size data point; all randomness from ``seed_for``."""
+    seed = profile.seed_for("fig8", size)
+    graph = build_random_network(size, seed).graph  # topology only
+    requests = make_requests(
+        graph, profile.online_requests, None, seed + 1
+    )
+    cp_stats = run_online(
+        calibrated_online_cp(build_random_network(size, seed)), requests
+    )
+    sp_stats = run_online(
+        make_sp_online(build_random_network(size, seed)), requests
+    )
+    return (
+        float(cp_stats.admitted),
+        float(sp_stats.admitted),
+        cp_stats.total_runtime,
+        sp_stats.total_runtime,
+    )
 
 
 def run_fig8(profile: ExperimentProfile) -> List[FigureResult]:
@@ -45,23 +68,15 @@ def run_fig8(profile: ExperimentProfile) -> List[FigureResult]:
         metadata={"profile": profile.name},
     )
 
+    grid = [(profile, size) for size in profile.network_sizes]
+    points = parallel_map(_fig8_point, grid)
+
     cp_admitted, sp_admitted, cp_times, sp_times = [], [], [], []
-    for size in profile.network_sizes:
-        seed = profile.seed_for("fig8", size)
-        graph = build_random_network(size, seed).graph  # topology only
-        requests = make_requests(
-            graph, profile.online_requests, None, seed + 1
-        )
-        cp_stats = run_online(
-            calibrated_online_cp(build_random_network(size, seed)), requests
-        )
-        sp_stats = run_online(
-            make_sp_online(build_random_network(size, seed)), requests
-        )
-        cp_admitted.append(float(cp_stats.admitted))
-        sp_admitted.append(float(sp_stats.admitted))
-        cp_times.append(cp_stats.total_runtime)
-        sp_times.append(sp_stats.total_runtime)
+    for cp_adm, sp_adm, cp_time, sp_time in points:
+        cp_admitted.append(cp_adm)
+        sp_admitted.append(sp_adm)
+        cp_times.append(cp_time)
+        sp_times.append(sp_time)
 
     admitted_panel.add_series("Online_CP", cp_admitted)
     admitted_panel.add_series("SP", sp_admitted)

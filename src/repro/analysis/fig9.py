@@ -10,7 +10,7 @@ out.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from repro.analysis.common import (
     build_real_network,
@@ -20,9 +20,31 @@ from repro.analysis.common import (
 )
 from repro.analysis.profiles import ExperimentProfile
 from repro.analysis.series import FigureResult
-from repro.simulation import run_online
+from repro.simulation import parallel_map, run_online
 
 FIG9_TOPOLOGIES = ("GEANT", "AS1755")
+
+
+def _fig9_point(
+    profile: ExperimentProfile, name: str, count: int, longest: int
+) -> Tuple[float, float]:
+    """One (topology, request-count) data point.
+
+    Regenerates the full ``longest``-request sequence from the same seed and
+    replays its ``count``-prefix, so every point sees exactly the arrivals a
+    growing monitoring period would observe — identical to slicing one
+    shared list, but self-contained for the process pool.
+    """
+    seed = profile.seed_for("fig9", name)
+    graph = build_real_network(name, seed).graph
+    prefix = make_requests(graph, longest, None, seed + 1)[:count]
+    cp_stats = run_online(
+        calibrated_online_cp(build_real_network(name, seed)), prefix
+    )
+    sp_stats = run_online(
+        make_sp_online(build_real_network(name, seed)), prefix
+    )
+    return (float(cp_stats.admitted), float(sp_stats.admitted))
 
 
 def run_fig9(
@@ -32,6 +54,17 @@ def run_fig9(
     """Reproduce Fig. 9 for each configured real topology."""
     results: List[FigureResult] = []
     counts = list(profile.request_counts)
+    longest = max(counts)
+    grid = [
+        (profile, name, count, longest)
+        for name in topologies
+        for count in counts
+    ]
+    points = parallel_map(_fig9_point, grid)
+    by_key = {
+        (name, count): point
+        for (_, name, count, _), point in zip(grid, points)
+    }
     for name in topologies:
         panel = FigureResult(
             figure_id=f"fig9-{name.lower()}",
@@ -40,23 +73,11 @@ def run_fig9(
             xs=[float(c) for c in counts],
             metadata={"profile": profile.name},
         )
-        seed = profile.seed_for("fig9", name)
-        # Generate the longest sequence once; shorter sweeps are prefixes,
-        # exactly as a growing monitoring period would observe.
-        graph = build_real_network(name, seed).graph
-        requests = make_requests(graph, max(counts), None, seed + 1)
-
         cp_admitted, sp_admitted = [], []
         for count in counts:
-            prefix = requests[:count]
-            cp_stats = run_online(
-                calibrated_online_cp(build_real_network(name, seed)), prefix
-            )
-            sp_stats = run_online(
-                make_sp_online(build_real_network(name, seed)), prefix
-            )
-            cp_admitted.append(float(cp_stats.admitted))
-            sp_admitted.append(float(sp_stats.admitted))
+            cp_adm, sp_adm = by_key[(name, count)]
+            cp_admitted.append(cp_adm)
+            sp_admitted.append(sp_adm)
         panel.add_series("Online_CP", cp_admitted)
         panel.add_series("SP", sp_admitted)
         results.append(panel)

@@ -68,6 +68,17 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="render each panel as an ASCII chart after its table",
         )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help=(
+                "process count for independent data points (default: "
+                "REPRO_WORKERS env var, else the CPU count); results are "
+                "identical for every value"
+            ),
+        )
     return parser
 
 
@@ -121,6 +132,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "demo":
         _run_demo(args.size, args.seed)
         return 0
+
+    if getattr(args, "workers", None) is not None:
+        from repro.simulation import set_default_workers
+
+        try:
+            set_default_workers(args.workers)
+        except ValueError as exc:
+            print(f"error: --workers: {exc}", file=sys.stderr)
+            return 2
 
     profile = get_profile(args.profile)
     names = None if args.command == "all" else [args.command]

@@ -22,6 +22,7 @@ from repro.core.appro_multi import (
     appro_multi,
     appro_multi_cap,
     appro_multi_detailed,
+    appro_multi_reference,
 )
 from repro.core.auxiliary import (
     VIRTUAL_SOURCE,
@@ -44,6 +45,7 @@ from repro.core.delay_aware import (
     DelayAwareSolution,
     delay_aware_multicast,
 )
+from repro.core.fasteval import CombinationEvaluator
 from repro.core.exact import (
     optimal_auxiliary_cost,
     optimal_single_server_cost,
@@ -65,7 +67,9 @@ __all__ = [
     "appro_multi",
     "appro_multi_cap",
     "appro_multi_detailed",
+    "appro_multi_reference",
     "ApproMultiResult",
+    "CombinationEvaluator",
     "DEFAULT_MAX_SERVERS",
     "OnlineCP",
     "OnlineCPK",

@@ -28,6 +28,7 @@ from repro.core.auxiliary import (
     evaluate_combination,
     iter_combinations,
 )
+from repro.core.fasteval import CombinationEvaluator
 from repro.core.pseudo_tree import PseudoMulticastTree
 from repro.exceptions import InfeasibleRequestError
 from repro.network.sdn import SDNetwork
@@ -86,7 +87,62 @@ def _search(
     request: MulticastRequest,
     max_servers: int,
 ) -> ApproMultiResult:
-    """Enumerate combinations and keep the cheapest KMB tree."""
+    """Enumerate combinations and keep the cheapest KMB tree.
+
+    Uses the memoized :class:`CombinationEvaluator` in two passes: a cheap
+    lower-bound pre-pass (no trees computed), then full evaluation in
+    *ascending bound order* so the incumbent tightens as early as possible
+    and prunes most full evaluations.  The result is exactly that of
+    :func:`_search_reference` in every case, including cost ties: a
+    combination is skipped only when its admissible bound strictly exceeds
+    the incumbent (it can then neither beat nor tie the final answer), and
+    among evaluated equal-cost solutions the one earliest in the reference
+    enumeration order wins — the same lexicographic ``(cost, index)``
+    minimum the reference's first-strict-improvement loop selects.  Only
+    the evaluated/pruned statistics may differ.
+    """
+    evaluator = CombinationEvaluator(ctx)
+    combinations = list(iter_combinations(ctx.candidate_servers, max_servers))
+    bounds = [evaluator.lower_bound(c) for c in combinations]
+    order = sorted(range(len(combinations)), key=bounds.__getitem__)
+
+    best: Optional[SubsetSolution] = None
+    best_index = -1
+    evaluated = 0
+    pruned = 0
+    for index in order:
+        if best is not None and bounds[index] > best.cost:
+            # Everything later in the order is bounded even higher.
+            pruned += len(combinations) - evaluated - pruned
+            break
+        solution = evaluator.evaluate(combinations[index])
+        evaluated += 1
+        if solution is None:
+            continue
+        if (
+            best is None
+            or solution.cost < best.cost
+            or (solution.cost == best.cost and index < best_index)
+        ):
+            best = solution
+            best_index = index
+    if best is None:
+        raise InfeasibleRequestError(
+            f"request {request.request_id}: no feasible pseudo-multicast tree"
+        )
+    return ApproMultiResult(
+        tree=_solution_to_tree(ctx, best, request),
+        combinations_evaluated=evaluated,
+        combinations_pruned=pruned,
+    )
+
+
+def _search_reference(
+    ctx: AuxiliaryContext,
+    request: MulticastRequest,
+    max_servers: int,
+) -> ApproMultiResult:
+    """The seed search loop, kept verbatim as the differential baseline."""
     best: Optional[SubsetSolution] = None
     evaluated = 0
     pruned = 0
@@ -159,8 +215,38 @@ def appro_multi_detailed(
         servers=servers,
         chain_cost=chain_cost,
         bandwidth=request.bandwidth,
+        cache=network.path_cache(),
     )
     return _search(ctx, request, max_servers)
+
+
+def appro_multi_reference(
+    network: SDNetwork,
+    request: MulticastRequest,
+    max_servers: int = DEFAULT_MAX_SERVERS,
+) -> PseudoMulticastTree:
+    """The seed ``Appro_Multi`` engine: no cache, no memoized evaluator.
+
+    Builds an explicit ``c_e · b_k`` topology copy, runs one fresh Dijkstra
+    per origin, and evaluates every combination from scratch.  Kept so the
+    differential test harness and the micro-benchmark can hold the cached
+    engine to the seed's exact behaviour.
+    """
+    if max_servers < 1:
+        raise ValueError(f"K must be >= 1, got {max_servers}")
+    servers = network.server_nodes
+    chain_cost = {
+        v: network.chain_cost(v, request.compute_demand) for v in servers
+    }
+    ctx = build_context(
+        graph=network.graph,
+        source=request.source,
+        destinations=sorted(request.destinations, key=repr),
+        servers=servers,
+        chain_cost=chain_cost,
+        bandwidth=request.bandwidth,
+    )
+    return _search_reference(ctx, request, max_servers).tree
 
 
 def appro_multi_cap(
@@ -181,7 +267,10 @@ def appro_multi_cap(
     """
     if max_servers < 1:
         raise ValueError(f"K must be >= 1, got {max_servers}")
-    residual = network.residual_graph(min_bandwidth=request.bandwidth)
+    # The residual graph changes with every allocation, so the cache is
+    # keyed on the network's epoch counter: a fresh epoch (or bandwidth
+    # threshold) rebuilds the pruned topology and its Dijkstra trees.
+    cache = network.residual_path_cache(min_bandwidth=request.bandwidth)
     eligible = network.feasible_servers(request.compute_demand)
     if not eligible:
         raise InfeasibleRequestError(
@@ -192,11 +281,12 @@ def appro_multi_cap(
         v: network.chain_cost(v, request.compute_demand) for v in eligible
     }
     ctx = build_context(
-        graph=residual,
+        graph=cache.graph,
         source=request.source,
         destinations=sorted(request.destinations, key=repr),
         servers=eligible,
         chain_cost=chain_cost,
         bandwidth=request.bandwidth,
+        cache=cache,
     )
     return _search(ctx, request, max_servers).tree

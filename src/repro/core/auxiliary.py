@@ -33,6 +33,7 @@ from repro.exceptions import InfeasibleRequestError
 from repro.graph.graph import Graph, Node
 from repro.graph.mst import kruskal_mst, prim_mst
 from repro.graph.shortest_paths import INFINITY, ShortestPathTree, dijkstra
+from repro.graph.spcache import ShortestPathCache
 from repro.graph.tree import prune_leaves
 
 
@@ -43,6 +44,13 @@ class _VirtualSource:
 
     def __repr__(self) -> str:
         return "s'"
+
+    def __reduce__(self):
+        # The sentinel is compared with ``is`` throughout, so pickling must
+        # resolve back to the module-level singleton: results that cross a
+        # process boundary (the parallel experiment runner) would otherwise
+        # carry a distinct copy that fails every identity check.
+        return "VIRTUAL_SOURCE"
 
 
 #: The virtual source ``s'_k`` shared by every auxiliary graph.
@@ -103,6 +111,7 @@ def build_context(
     servers: Sequence[Node],
     chain_cost: Dict[Node, float],
     bandwidth: float,
+    cache: Optional[ShortestPathCache] = None,
 ) -> AuxiliaryContext:
     """Precompute the shared state for one request.
 
@@ -114,11 +123,27 @@ def build_context(
             by capacitated callers).
         chain_cost: ``c_v(SC_k)`` for each eligible server.
         bandwidth: ``b_k``.
+        cache: optional shortest-path cache bound to ``graph``.  When given,
+            Dijkstra trees come from the cache with distances scaled lazily
+            by ``bandwidth`` (uniform scaling preserves shortest paths), and
+            no scaled graph copy is materialized.  When ``None``, the
+            context is built the reference way: an explicit ``c_e · b_k``
+            copy of the topology plus one fresh Dijkstra per origin.
 
     Raises:
         InfeasibleRequestError: if a destination is unreachable from the
             source, or no server is reachable.
+        ValueError: if ``cache`` is bound to a different graph object.
     """
+    if cache is not None:
+        if cache.graph is not graph:
+            raise ValueError(
+                "shortest-path cache is bound to a different graph than the "
+                "one passed to build_context"
+            )
+        return _build_context_cached(
+            cache, source, destinations, servers, chain_cost, bandwidth
+        )
     scaled = scale_graph(graph, bandwidth)
     sp: Dict[Node, ShortestPathTree] = {source: dijkstra(scaled, source)}
     source_tree = sp[source]
@@ -140,6 +165,62 @@ def build_context(
     for server in reachable_servers:
         if server not in sp:
             sp[server] = dijkstra(scaled, server)
+
+    virtual_weight = {
+        v: source_tree.distance[v] + chain_cost[v] for v in reachable_servers
+    }
+    adjacent = frozenset(
+        v for v in reachable_servers if scaled.has_edge(source, v)
+    )
+    return AuxiliaryContext(
+        scaled=scaled,
+        source=source,
+        destinations=tuple(dict.fromkeys(destinations)),
+        candidate_servers=reachable_servers,
+        chain_cost=dict(chain_cost),
+        virtual_weight=virtual_weight,
+        adjacent_servers=adjacent,
+        sp=sp,
+    )
+
+
+def _build_context_cached(
+    cache: ShortestPathCache,
+    source: Node,
+    destinations: Sequence[Node],
+    servers: Sequence[Node],
+    chain_cost: Dict[Node, float],
+    bandwidth: float,
+) -> AuxiliaryContext:
+    """Cache-backed :func:`build_context`: no graph copy, no fresh Dijkstra.
+
+    Uniform scaling by ``b_k`` preserves shortest paths, so every tree is
+    the cached unit-cost tree with distances multiplied lazily; the scaled
+    topology is a read-only view with the same property.
+    """
+    scaled = cache.scaled_view(bandwidth)
+    sp: Dict[Node, ShortestPathTree] = {
+        source: cache.scaled_tree(source, bandwidth)
+    }
+    source_tree = sp[source]
+
+    for destination in destinations:
+        if not source_tree.reaches(destination):
+            raise InfeasibleRequestError(
+                f"destination {destination!r} unreachable from {source!r}"
+            )
+        sp[destination] = cache.scaled_tree(destination, bandwidth)
+
+    reachable_servers = tuple(
+        v for v in servers if source_tree.reaches(v)
+    )
+    if not reachable_servers:
+        raise InfeasibleRequestError(
+            f"no server reachable from source {source!r}"
+        )
+    for server in reachable_servers:
+        if server not in sp:
+            sp[server] = cache.scaled_tree(server, bandwidth)
 
     virtual_weight = {
         v: source_tree.distance[v] + chain_cost[v] for v in reachable_servers

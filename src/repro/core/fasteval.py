@@ -1,0 +1,336 @@
+"""Memoized combination evaluation for ``Appro_Multi`` (cost-exact).
+
+``Appro_Multi`` evaluates up to ``Σ_{j≤K} C(|V_S|, j)`` server combinations
+per request, and :func:`~repro.core.auxiliary.evaluate_combination` spends
+most of its time recomputing quantities that depend only on the *zero-server
+set* ``Z = combination ∩ adjacent_servers`` — not on the combination itself:
+
+- the destination–destination closure distances (and the case decomposition
+  choosing them),
+- the per-server modified-distance rows feeding the ``s'`` closure edges,
+- the expanded real-graph paths realizing each closure edge.
+
+Since ``K`` is small and only servers adjacent to the source produce zero
+edges, the number of distinct zero sets is far smaller than the number of
+combinations, so :class:`CombinationEvaluator` memoizes all three by zero
+set and replays :func:`~repro.core.auxiliary.evaluate_combination` from the
+memos.  The replay constructs byte-identical :class:`~repro.graph.graph.Graph`
+objects (same node/edge insertion order, same floats) and runs the very same
+``prim_mst`` / ``kruskal_mst`` / ``prune_leaves`` calls, so the returned
+:class:`~repro.core.auxiliary.SubsetSolution` is **bit-for-bit identical** to
+the reference evaluator's — the differential test harness holds this to
+account on seeded instances.
+
+:meth:`CombinationEvaluator.lower_bound` additionally exposes an admissible
+bound — any tree for the combination contains, for every destination ``y``,
+a path ``s' → y`` of weight at least the closure edge ``(s', y)`` — which the
+search uses to skip whole combinations without touching an MST.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.auxiliary import (
+    VIRTUAL_SOURCE,
+    AuxiliaryContext,
+    SubsetSolution,
+    _modified_distance,
+    _modified_path,
+)
+from repro.graph.graph import Graph, Node
+from repro.graph.mst import kruskal_mst, prim_mst
+from repro.graph.shortest_paths import INFINITY
+from repro.graph.tree import prune_leaves
+
+#: ``(distance, case, v1, v2)`` as produced by ``_modified_distance``.
+_Entry = Tuple[float, int, Optional[Node], Optional[Node]]
+#: An expanded path as ``(u, v, weight)`` triples in traversal order.
+_EdgeList = Tuple[Tuple[Node, Node, float], ...]
+
+#: Sentinel returned by :meth:`CombinationEvaluator.evaluate` when the
+#: admissible lower bound already proves the combination cannot beat the
+#: incumbent, so no tree was (or needed to be) computed.
+PRUNED = object()
+
+
+class _ClosureData:
+    """Dest–dest closure state shared by every combination of one zero set."""
+
+    __slots__ = ("template", "pair_choice")
+
+    def __init__(self, template: Graph, pair_choice: Dict) -> None:
+        #: Closure graph with ``s'`` present but its edges not yet added.
+        self.template = template
+        #: ``(x, y) → ("real", case, v1, v2)`` for destination pairs.
+        self.pair_choice = pair_choice
+
+
+class CombinationEvaluator:
+    """Evaluate server combinations of one request with shared memos.
+
+    One instance per :class:`~repro.core.auxiliary.AuxiliaryContext`; not
+    thread-safe (the search is sequential).
+    """
+
+    __slots__ = (
+        "_ctx",
+        "_closures",
+        "_vrows",
+        "_paths",
+        "_solutions",
+        "_winner_memo",
+    )
+
+    def __init__(self, ctx: AuxiliaryContext) -> None:
+        self._ctx = ctx
+        #: zero set → closure data, or ``None`` if a dest pair is unreachable.
+        self._closures: Dict[Tuple[Node, ...], Optional[_ClosureData]] = {}
+        #: ``(zero set, server)`` → per-destination modified-distance row.
+        self._vrows: Dict[Tuple, Tuple[_Entry, ...]] = {}
+        #: ``(zero set, a, b)`` → expanded edges realizing the closure edge.
+        self._paths: Dict[Tuple, _EdgeList] = {}
+        #: ``(zero set, members)`` → (winner list, lower bound); shared
+        #: between the bound pre-pass and the evaluation itself.
+        self._winner_memo: Dict[Tuple, Tuple[Optional[List[Tuple]], float]] = {}
+        #: ``(zero set, winner vector)`` → finished solution.  The KMB tree
+        #: depends on the combination only through the zero set and the
+        #: per-destination ``s'``-edge winners, so combinations sharing both
+        #: share the whole answer.
+        self._solutions: Dict[Tuple, Optional[SubsetSolution]] = {}
+
+    # ------------------------------------------------------------------
+    # memoized building blocks
+    # ------------------------------------------------------------------
+    def _closure(self, zero_key: Tuple[Node, ...]) -> Optional[_ClosureData]:
+        """Return the dest–dest closure for a zero set (``None``: infeasible)."""
+        try:
+            return self._closures[zero_key]
+        except KeyError:
+            pass
+        ctx = self._ctx
+        destinations = ctx.destinations
+        template = Graph()
+        template.add_node(VIRTUAL_SOURCE)
+        for terminal in destinations:
+            template.add_node(terminal)
+        pair_choice: Dict[Tuple[Node, Node], Tuple] = {}
+        data: Optional[_ClosureData] = _ClosureData(template, pair_choice)
+        for i, x in enumerate(destinations):
+            for y in destinations[i + 1 :]:
+                dist, case, v1, v2 = _modified_distance(ctx, zero_key, x, y)
+                if dist == INFINITY:
+                    data = None  # capacitated pruning disconnected a pair
+                    break
+                template.add_edge(x, y, dist)
+                pair_choice[(x, y)] = ("real", case, v1, v2)
+            if data is None:
+                break
+        self._closures[zero_key] = data
+        return data
+
+    def _vrow(
+        self, zero_key: Tuple[Node, ...], server: Node
+    ) -> Tuple[_Entry, ...]:
+        """Return ``server``'s modified distances to every destination."""
+        key = (zero_key, server)
+        row = self._vrows.get(key)
+        if row is None:
+            ctx = self._ctx
+            row = tuple(
+                _modified_distance(ctx, zero_key, server, y)
+                for y in ctx.destinations
+            )
+            self._vrows[key] = row
+        return row
+
+    def _path_edges(
+        self,
+        zero_key: Tuple[Node, ...],
+        a: Node,
+        b: Node,
+        case: int,
+        v1: Optional[Node],
+        v2: Optional[Node],
+    ) -> _EdgeList:
+        """Return the expanded ``(u, v, weight)`` edges for one closure edge."""
+        key = (zero_key, a, b)
+        edges = self._paths.get(key)
+        if edges is None:
+            ctx = self._ctx
+            path = _modified_path(ctx, a, b, case, v1, v2)
+            source, scaled = ctx.source, ctx.scaled
+            zero = set(zero_key)
+            triples: List[Tuple[Node, Node, float]] = []
+            for u, v in zip(path, path[1:]):
+                if (u == source and v in zero) or (v == source and u in zero):
+                    triples.append((u, v, 0.0))
+                else:
+                    triples.append((u, v, scaled.weight(u, v)))
+            edges = tuple(triples)
+            self._paths[key] = edges
+        return edges
+
+    def _winners_for(
+        self, zero_key: Tuple[Node, ...], members: Tuple[Node, ...]
+    ) -> Tuple[Optional[List[Tuple]], float]:
+        """Memoized :meth:`_winners` (lower_bound and evaluate share it)."""
+        key = (zero_key, members)
+        cached = self._winner_memo.get(key)
+        if cached is None:
+            cached = self._winners(zero_key, members)
+            self._winner_memo[key] = cached
+        return cached
+
+    def _winners(
+        self, zero_key: Tuple[Node, ...], members: Sequence[Node]
+    ) -> Tuple[Optional[List[Tuple]], float]:
+        """Pick the cheapest ``s'`` closure edge per destination.
+
+        Returns ``(winner list, lower bound)`` where the winner for
+        destination index ``i`` is ``(total, server, case, v1, v2)`` exactly
+        as the reference evaluator would choose it (same iteration order,
+        same floats), and the lower bound is the largest winner total — an
+        admissible bound because any feasible tree contains, for every
+        destination, a path from ``s'`` of at least that closure-edge
+        weight.  Infeasible destinations yield ``(None, INFINITY)``.
+        """
+        ctx = self._ctx
+        virtual_weight = ctx.virtual_weight
+        vrows = self._vrows
+        rows = []
+        for v in members:
+            key = (zero_key, v)
+            row = vrows.get(key)
+            if row is None:
+                row = self._vrow(zero_key, v)
+            rows.append((virtual_weight[v], v, row))
+        winners: List[Tuple] = []
+        bound = 0.0
+        for index in range(len(ctx.destinations)):
+            best_total = INFINITY
+            best = None
+            for weight, v, row in rows:
+                dist, case, v1, v2 = row[index]
+                total = weight + dist
+                if total < best_total:
+                    best_total = total
+                    best = (total, v, case, v1, v2)
+            if best is None or best_total == INFINITY:
+                return None, INFINITY
+            winners.append(best)
+            if best_total > bound:
+                bound = best_total
+        return winners, bound
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+    def lower_bound(self, combination: Sequence[Node]) -> float:
+        """Admissible cost lower bound for ``combination``.
+
+        Returns :data:`~repro.graph.shortest_paths.INFINITY` when the
+        combination is infeasible (evaluation would return ``None``).
+        """
+        ctx = self._ctx
+        members = tuple(v for v in combination if v in ctx.virtual_weight)
+        if not members:
+            return INFINITY
+        zero_key = tuple(v for v in members if v in ctx.adjacent_servers)
+        if self._closure(zero_key) is None:
+            return INFINITY
+        return self._winners_for(zero_key, members)[1]
+
+    def evaluate(
+        self, combination: Sequence[Node], bound: Optional[float] = None
+    ) -> Optional[SubsetSolution]:
+        """Replay of ``evaluate_combination`` from memos (bit-identical).
+
+        When ``bound`` (the incumbent best cost) is given and the admissible
+        lower bound already reaches it, returns the :data:`PRUNED` sentinel
+        without computing a tree — such a combination can never replace the
+        incumbent under the search's strict-improvement rule.
+        """
+        ctx = self._ctx
+        virtual_weight = ctx.virtual_weight
+        members = tuple(v for v in combination if v in virtual_weight)
+        if not members:
+            return None
+        zero_key = tuple(v for v in members if v in ctx.adjacent_servers)
+
+        closure_data = self._closure(zero_key)
+        if closure_data is None:
+            return None
+
+        winners, lower = self._winners_for(zero_key, members)
+        if bound is not None and lower >= bound:
+            return PRUNED
+        if winners is None:
+            return None
+
+        # The tree depends on the combination only through the zero set and
+        # the chosen winners, so finished answers are shared across
+        # combinations (only the `combination` label needs refreshing).
+        memo_key = (zero_key, tuple(winners))
+        if memo_key in self._solutions:
+            cached = self._solutions[memo_key]
+            if cached is None:
+                return None
+            return SubsetSolution(
+                combination=members,
+                used_servers=cached.used_servers,
+                cost=cached.cost,
+                tree=cached.tree,
+            )
+
+        destinations = ctx.destinations
+        closure = closure_data.template.copy()
+        pair_choice = closure_data.pair_choice
+        virtual_choice: Dict[Node, Tuple] = {}
+        for y, best in zip(destinations, winners):
+            closure.add_edge(VIRTUAL_SOURCE, y, best[0])
+            virtual_choice[y] = best
+
+        closure_mst = prim_mst(closure)
+
+        expanded = Graph()
+        for u, v, _ in closure_mst.edges():
+            if u is VIRTUAL_SOURCE or v is VIRTUAL_SOURCE:
+                y = v if u is VIRTUAL_SOURCE else u
+                _, server, case, v1, v2 = virtual_choice[y]
+                expanded.add_edge(
+                    VIRTUAL_SOURCE, server, virtual_weight[server]
+                )
+                for eu, ev, ew in self._path_edges(
+                    zero_key, server, y, case, v1, v2
+                ):
+                    expanded.add_edge(eu, ev, ew)
+            else:
+                a, b = (u, v) if (u, v) in pair_choice else (v, u)
+                _, case, v1, v2 = pair_choice[(a, b)]
+                for eu, ev, ew in self._path_edges(
+                    zero_key, a, b, case, v1, v2
+                ):
+                    expanded.add_edge(eu, ev, ew)
+
+        refined = kruskal_mst(expanded)
+        terminals: List[Node] = [VIRTUAL_SOURCE] + list(destinations)
+        pruned = prune_leaves(refined, keep=terminals)
+
+        used = tuple(
+            sorted(
+                (v for v in pruned.neighbors(VIRTUAL_SOURCE)),
+                key=repr,
+            )
+        ) if pruned.has_node(VIRTUAL_SOURCE) else ()
+        if not used:
+            self._solutions[memo_key] = None
+            return None
+        solution = SubsetSolution(
+            combination=members,
+            used_servers=used,
+            cost=pruned.total_weight(),
+            tree=pruned,
+        )
+        self._solutions[memo_key] = solution
+        return solution

@@ -22,7 +22,7 @@ Theorem 2 gives this policy an ``O(log |V|)`` competitive ratio.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Hashable, List, Optional, Tuple
 
 from repro.core.admission import AdmissionPolicy
 from repro.core.cost_model import CostModel, ExponentialCostModel
@@ -30,7 +30,7 @@ from repro.core.online_base import OnlineAlgorithm, OnlineDecision, RejectReason
 from repro.core.pseudo_tree import PseudoMulticastTree
 from repro.exceptions import DisconnectedGraphError
 from repro.graph.graph import Graph, edge_key
-from repro.graph.shortest_paths import ShortestPathTree, dijkstra
+from repro.graph.spcache import ShortestPathCache, VersionedCacheRegistry
 from repro.graph.steiner import kmb_steiner_tree_cached
 from repro.graph.tree import RootedTree
 from repro.network.sdn import SDNetwork
@@ -71,6 +71,22 @@ class OnlineCP(OnlineAlgorithm):
         super().__init__(network)
         self._model = cost_model or ExponentialCostModel.for_network(network)
         self._policy = policy or AdmissionPolicy.for_network(network)
+        # Congestion-priced graphs depend on residual state, so cached
+        # Dijkstra trees are keyed on the network epoch: consecutive
+        # decisions without an admission in between (rejections do not touch
+        # capacities) reuse both the weighted graph and its trees.
+        self._sp_registry = VersionedCacheRegistry()
+
+    def _weighted_cache(self, request: MulticastRequest) -> ShortestPathCache:
+        """Shortest-path cache on the congestion-priced graph for ``b_k``."""
+        network = self._network
+        return self._sp_registry.get(
+            ("weighted", request.bandwidth),
+            network.epoch,
+            lambda: self._model.weight_graph(
+                network, min_residual_bandwidth=request.bandwidth
+            ),
+        )
 
     @property
     def cost_model(self) -> CostModel:
@@ -96,17 +112,12 @@ class OnlineCP(OnlineAlgorithm):
         if not candidates:
             return self._reject(request, RejectReason.NO_FEASIBLE_SERVER)
 
-        weighted = self._model.weight_graph(
-            network, min_residual_bandwidth=request.bandwidth
-        )
+        sp_cache = self._weighted_cache(request)
+        weighted = sp_cache.graph
         destinations = sorted(request.destinations, key=repr)
-        source_tree = dijkstra(weighted, request.source)
+        source_tree = sp_cache.tree(request.source)
         if any(not source_tree.reaches(d) for d in destinations):
             return self._reject(request, RejectReason.DISCONNECTED)
-
-        sp_cache: Dict[Node, ShortestPathTree] = {request.source: source_tree}
-        for destination in destinations:
-            sp_cache[destination] = dijkstra(weighted, destination)
 
         best: Optional[_Candidate] = None
         saw_server_pass = False
@@ -118,8 +129,6 @@ class OnlineCP(OnlineAlgorithm):
             saw_server_pass = True
             if not source_tree.reaches(server):
                 continue
-            if server not in sp_cache:
-                sp_cache[server] = dijkstra(weighted, server)
             terminals = [request.source, server] + destinations
             try:
                 tree = kmb_steiner_tree_cached(weighted, sp_cache, terminals)

@@ -23,13 +23,14 @@ from repro.core.admission import AdmissionPolicy
 from repro.core.auxiliary import (
     VIRTUAL_SOURCE,
     build_context,
-    evaluate_combination,
     iter_combinations,
 )
 from repro.core.cost_model import CostModel, ExponentialCostModel
+from repro.core.fasteval import PRUNED, CombinationEvaluator
 from repro.core.online_base import OnlineAlgorithm, OnlineDecision, RejectReason
 from repro.core.pseudo_tree import PseudoMulticastTree
 from repro.exceptions import InfeasibleRequestError
+from repro.graph.spcache import ShortestPathCache, VersionedCacheRegistry
 from repro.network.sdn import SDNetwork
 from repro.workload.request import MulticastRequest
 
@@ -60,6 +61,21 @@ class OnlineCPK(OnlineAlgorithm):
         self._max_servers = max_servers
         self._model = cost_model or ExponentialCostModel.for_network(network)
         self._policy = policy or AdmissionPolicy.for_network(network)
+        # Epoch-keyed cache of the congestion-priced graph and its Dijkstra
+        # trees (see OnlineCP): valid until the next admission mutates
+        # residual capacities.
+        self._sp_registry = VersionedCacheRegistry()
+
+    def _weighted_cache(self, request: MulticastRequest) -> ShortestPathCache:
+        """Shortest-path cache on the congestion-priced graph for ``b_k``."""
+        network = self._network
+        return self._sp_registry.get(
+            ("weighted", request.bandwidth),
+            network.epoch,
+            lambda: self._model.weight_graph(
+                network, min_residual_bandwidth=request.bandwidth
+            ),
+        )
 
     @property
     def max_servers(self) -> int:
@@ -92,34 +108,36 @@ class OnlineCPK(OnlineAlgorithm):
         if not admissible:
             return self._reject(request, RejectReason.SERVER_THRESHOLD)
 
-        weighted = self._model.weight_graph(
-            network, min_residual_bandwidth=request.bandwidth
-        )
+        cache = self._weighted_cache(request)
         server_weight = {
             v: self._model.node_weight(network, v) for v in admissible
         }
         try:
             ctx = build_context(
-                graph=weighted,
+                graph=cache.graph,
                 source=request.source,
                 destinations=sorted(request.destinations, key=repr),
                 servers=admissible,
                 chain_cost=server_weight,
                 bandwidth=1.0,  # weights are already congestion-priced
+                cache=cache,
             )
         except InfeasibleRequestError:
             return self._reject(request, RejectReason.DISCONNECTED)
 
+        evaluator = CombinationEvaluator(ctx)
         best = None
         for combination in iter_combinations(
             ctx.candidate_servers, self._max_servers
         ):
+            bound = None
             if best is not None:
+                bound = best.cost
                 floor = min(ctx.virtual_weight[v] for v in combination)
-                if floor >= best.cost:
+                if floor >= bound:
                     continue
-            solution = evaluate_combination(ctx, combination)
-            if solution is None:
+            solution = evaluator.evaluate(combination, bound=bound)
+            if solution is PRUNED or solution is None:
                 continue
             if best is None or solution.cost < best.cost:
                 best = solution

@@ -43,6 +43,13 @@ from repro.graph.shortest_paths import (
     shortest_path_length,
     single_source_distances,
 )
+from repro.graph.spcache import (
+    ScaledDistances,
+    ScaledGraphView,
+    ScaledTree,
+    ShortestPathCache,
+    VersionedCacheRegistry,
+)
 from repro.graph.steiner import (
     MetricClosure,
     kmb_steiner_tree,
@@ -77,6 +84,11 @@ __all__ = [
     "connected_components",
     "is_connected",
     "same_component",
+    "ScaledDistances",
+    "ScaledGraphView",
+    "ScaledTree",
+    "ShortestPathCache",
+    "VersionedCacheRegistry",
     "dijkstra",
     "shortest_path",
     "shortest_path_length",

@@ -1,0 +1,361 @@
+"""A versioned shortest-path cache with lazily scaled views.
+
+Every ``Appro_Multi`` invocation needs one Dijkstra tree per terminal and
+candidate server on a graph whose weights are the link unit costs multiplied
+by the request bandwidth ``b_k``.  Because that scaling is *uniform*, the
+shortest paths are identical to those of the unit-cost graph and only the
+distances change — by exactly the factor ``b_k``.  This module exploits that:
+
+- :class:`ShortestPathCache` computes each Dijkstra tree **once** on the
+  unit-cost graph and memoizes it by origin, so trees are shared across
+  server combinations, across requests, and across experiment trials on the
+  same topology.
+- :meth:`ShortestPathCache.scaled_tree` wraps a cached tree in a
+  :class:`ScaledTree` whose distances are multiplied by ``b_k`` lazily, at
+  lookup time — no per-request graph copies, no re-run searches.
+- :class:`ScaledGraphView` is the matching read-only view of the graph with
+  all weights multiplied by the same factor, for callers that need edge
+  weights (auxiliary-graph expansion) rather than distances.
+
+Residual and congestion-priced graphs are *not* uniform rescalings — they
+change whenever resources are allocated or released.  For those,
+:class:`VersionedCacheRegistry` keys each cache on an explicit version
+number (the :class:`~repro.network.sdn.SDNetwork` *epoch* counter, bumped on
+every residual mutation), so ``Appro_Multi_Cap`` and the online algorithms
+read cached trees only while the underlying graph is provably unchanged.
+
+Invariants (see docs/API.md for the full contract):
+
+1. *Uniform-scaling*: for factor ``f > 0``, ``scaled_tree(o, f).distance[t]
+   == f * tree(o).distance[t]`` and the realizing paths are identical.
+2. *Epoch-keying*: a registry entry built at version ``e`` is never served
+   at any version ``!= e``; mutating the network invalidates every derived
+   cache at once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.graph.graph import Graph, Node
+from repro.graph.shortest_paths import ShortestPathTree, dijkstra
+
+
+class ScaledDistances(Mapping):
+    """Read-only mapping view multiplying every value by a fixed factor.
+
+    Behaves like ``{node: base[node] * factor}`` without materializing it;
+    missing nodes stay missing (an unreachable node is unreachable at every
+    scale).
+    """
+
+    __slots__ = ("_base", "_factor")
+
+    def __init__(self, base: Dict[Node, float], factor: float) -> None:
+        self._base = base
+        self._factor = factor
+
+    def __getitem__(self, node: Node) -> float:
+        return self._base[node] * self._factor
+
+    def get(self, node: Node, default=None):
+        value = self._base.get(node)
+        if value is None:
+            return default
+        return value * self._factor
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._base
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._base)
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+
+class ScaledTree:
+    """A :class:`ShortestPathTree` view with distances scaled by ``factor``.
+
+    The parent structure (and therefore every path) is shared with the
+    underlying unit-cost tree: uniform scaling preserves shortest paths.
+    """
+
+    __slots__ = ("_tree", "_factor", "distance")
+
+    def __init__(self, tree: ShortestPathTree, factor: float) -> None:
+        self._tree = tree
+        self._factor = factor
+        #: Lazily scaled distance mapping (mirrors ``ShortestPathTree``).
+        self.distance = ScaledDistances(tree.distance, factor)
+
+    @property
+    def source(self) -> Node:
+        """The Dijkstra origin."""
+        return self._tree.source
+
+    @property
+    def factor(self) -> float:
+        """The uniform weight multiplier."""
+        return self._factor
+
+    @property
+    def parent(self) -> Dict[Node, Optional[Node]]:
+        """Predecessor map, identical to the unit-cost tree's."""
+        return self._tree.parent
+
+    @property
+    def base(self) -> ShortestPathTree:
+        """The underlying unit-cost tree."""
+        return self._tree
+
+    def reaches(self, node: Node) -> bool:
+        """Return whether ``node`` is reachable from the origin."""
+        return self._tree.reaches(node)
+
+    def path_to(self, target: Node) -> List[Node]:
+        """Return the (scale-invariant) node path origin → ``target``."""
+        return self._tree.path_to(target)
+
+
+class ScaledGraphView:
+    """Read-only view of a graph with every weight multiplied by ``factor``.
+
+    Supports the query surface the solvers use (``weight``, ``has_edge``,
+    iteration); :meth:`copy` materializes an ordinary mutable
+    :class:`Graph` for callers that need to edit (the explicit
+    auxiliary-graph construction).
+    """
+
+    __slots__ = ("_graph", "_factor")
+
+    def __init__(self, graph: Graph, factor: float) -> None:
+        self._graph = graph
+        self._factor = factor
+
+    @property
+    def base(self) -> Graph:
+        """The unscaled graph."""
+        return self._graph
+
+    @property
+    def factor(self) -> float:
+        """The uniform weight multiplier."""
+        return self._factor
+
+    def weight(self, u: Node, v: Node) -> float:
+        """Return the scaled weight of edge ``(u, v)``."""
+        return self._graph.weight(u, v) * self._factor
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return whether the edge exists (scale-independent)."""
+        return self._graph.has_edge(u, v)
+
+    def has_node(self, node: Node) -> bool:
+        """Return whether the node exists (scale-independent)."""
+        return self._graph.has_node(node)
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes."""
+        return self._graph.nodes()
+
+    def edges(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Iterate over ``(u, v, scaled weight)`` triples."""
+        factor = self._factor
+        for u, v, w in self._graph.edges():
+            yield u, v, w * factor
+
+    def neighbors(self, node: Node) -> Iterator[Node]:
+        """Iterate over the neighbors of ``node``."""
+        return self._graph.neighbors(node)
+
+    def neighbor_items(self, node: Node) -> Iterator[Tuple[Node, float]]:
+        """Iterate over ``(neighbor, scaled weight)`` pairs."""
+        factor = self._factor
+        for neighbor, w in self._graph.neighbor_items(node):
+            yield neighbor, w * factor
+
+    def degree(self, node: Node) -> int:
+        """Return the degree of ``node``."""
+        return self._graph.degree(node)
+
+    @property
+    def num_nodes(self) -> int:
+        """The number of nodes."""
+        return self._graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """The number of edges."""
+        return self._graph.num_edges
+
+    def total_weight(self) -> float:
+        """Return the scaled total edge weight."""
+        return self._graph.total_weight() * self._factor
+
+    def copy(self) -> Graph:
+        """Materialize the scaled view as a standalone mutable graph."""
+        scaled = Graph()
+        for node in self._graph.nodes():
+            scaled.add_node(node)
+        factor = self._factor
+        for u, v, w in self._graph.edges():
+            scaled.add_edge(u, v, w * factor)
+        return scaled
+
+    def __contains__(self, node: Node) -> bool:
+        return self._graph.has_node(node)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScaledGraphView({self._graph!r}, factor={self._factor:g})"
+        )
+
+
+class ShortestPathCache:
+    """Memoized single-source Dijkstra trees over one fixed graph.
+
+    The cache assumes the bound graph is **immutable for its lifetime**:
+    callers that derive graphs from mutable state (residual capacities,
+    congestion prices) must key the cache on a version counter via
+    :class:`VersionedCacheRegistry` and build a fresh cache per version.
+
+    The mapping protocol (``cache[origin]``, ``origin in cache``) makes the
+    cache a drop-in replacement for the ``Dict[Node, ShortestPathTree]``
+    that :func:`~repro.graph.steiner.kmb_steiner_tree_cached` consumes —
+    with trees computed on demand and remembered.
+    """
+
+    __slots__ = ("_graph", "_trees", "hits", "misses")
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        self._trees: Dict[Node, ShortestPathTree] = {}
+        #: Served-from-memory lookup count (observability / benchmarks).
+        self.hits = 0
+        #: Computed-on-demand lookup count.
+        self.misses = 0
+
+    @property
+    def graph(self) -> Graph:
+        """The graph the cached trees were computed on."""
+        return self._graph
+
+    def tree(self, origin: Node) -> ShortestPathTree:
+        """Return the Dijkstra tree rooted at ``origin`` (cached)."""
+        cached = self._trees.get(origin)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        tree = dijkstra(self._graph, origin)
+        self._trees[origin] = tree
+        return tree
+
+    def scaled_tree(self, origin: Node, factor: float):
+        """Return the tree at ``origin`` with distances scaled by ``factor``.
+
+        A factor of exactly 1.0 returns the unscaled tree itself.
+        """
+        tree = self.tree(origin)
+        if factor == 1.0:
+            return tree
+        return ScaledTree(tree, factor)
+
+    def scaled_view(self, factor: float):
+        """Return the bound graph with weights scaled by ``factor``."""
+        if factor == 1.0:
+            return self._graph
+        return ScaledGraphView(self._graph, factor)
+
+    def clear(self) -> None:
+        """Drop every cached tree (keeps the graph binding)."""
+        self._trees.clear()
+
+    # -- mapping protocol (kmb_steiner_tree_cached compatibility) -------
+    def __getitem__(self, origin: Node) -> ShortestPathTree:
+        return self.tree(origin)
+
+    def __contains__(self, origin: object) -> bool:
+        return self._graph.has_node(origin)
+
+    def __len__(self) -> int:
+        return len(self._trees)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShortestPathCache(origins={len(self._trees)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+class VersionedCacheRegistry:
+    """LRU registry of :class:`ShortestPathCache` keyed by ``(key, version)``.
+
+    ``SDNetwork`` owns one registry and uses its *epoch* counter as the
+    version: any allocation, release, restore, or reset bumps the epoch, so
+    caches built on derived graphs (residual subgraphs, congestion-priced
+    graphs) can never be served stale.  A small LRU bound keeps memory flat
+    when bandwidths vary per request.
+    """
+
+    __slots__ = ("_entries", "_maxsize", "evictions")
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self._entries: "OrderedDict[Tuple[Hashable, int], ShortestPathCache]"
+        self._entries = OrderedDict()
+        self._maxsize = maxsize
+        #: Number of entries dropped by the LRU bound (observability).
+        self.evictions = 0
+
+    def get(
+        self,
+        key: Hashable,
+        version: int,
+        builder: Callable[[], Graph],
+    ) -> ShortestPathCache:
+        """Return the cache for ``(key, version)``, building it on a miss.
+
+        ``builder`` is only invoked on a miss; stale versions of the same
+        key are dropped eagerly (they can never be valid again).
+        """
+        entry_key = (key, version)
+        cache = self._entries.get(entry_key)
+        if cache is not None:
+            self._entries.move_to_end(entry_key)
+            return cache
+        # Any entry for this key at another version is unreachable forever.
+        stale = [k for k in self._entries if k[0] == key and k[1] != version]
+        for k in stale:
+            del self._entries[k]
+        cache = ShortestPathCache(builder())
+        self._entries[entry_key] = cache
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return cache
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"VersionedCacheRegistry(entries={len(self._entries)}, "
+            f"maxsize={self._maxsize})"
+        )

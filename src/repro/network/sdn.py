@@ -28,6 +28,7 @@ from repro.exceptions import (
     NodeNotFoundError,
 )
 from repro.graph.graph import Graph, Node, edge_key
+from repro.graph.spcache import ShortestPathCache, VersionedCacheRegistry
 from repro.network.elements import LinkState, ServerState
 
 #: Paper defaults (Section VI-A).
@@ -77,6 +78,13 @@ class SDNetwork:
         self._graph = graph
         self._links = links
         self._servers = servers
+        # Residual-state version counter: bumped by every allocation,
+        # release, restore, and reset, so caches over *derived* graphs
+        # (residual subgraphs, congestion-priced graphs) can be keyed on it
+        # and never read stale shortest paths.
+        self._epoch = 0
+        self._path_caches = VersionedCacheRegistry()
+        self._topology_cache: Optional[ShortestPathCache] = None
 
     # ------------------------------------------------------------------
     # topology access
@@ -177,23 +185,66 @@ class SDNetwork:
         ]
 
     # ------------------------------------------------------------------
+    # shortest-path caches
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Residual-state version: increments on every resource mutation.
+
+        Two reads of any residual-derived view (``residual_graph``, a cost
+        model's weighted graph) at the same epoch are guaranteed identical;
+        caches over such views must be keyed on this counter.
+        """
+        return self._epoch
+
+    def path_cache(self) -> ShortestPathCache:
+        """Shared Dijkstra-tree cache over the (immutable) topology.
+
+        The topology graph and its unit costs never change after
+        construction, so these trees stay valid across requests, epochs,
+        and bandwidths — distances for a request are obtained by scaling
+        lazily with ``b_k`` (see :mod:`repro.graph.spcache`).
+        """
+        if self._topology_cache is None:
+            self._topology_cache = ShortestPathCache(self._graph)
+        return self._topology_cache
+
+    def residual_path_cache(self, min_bandwidth: float) -> ShortestPathCache:
+        """Dijkstra-tree cache over ``residual_graph(min_bandwidth)``.
+
+        Keyed on the current epoch: any allocation or release invalidates
+        it, so ``Appro_Multi_Cap`` always sees fresh paths on the pruned
+        graph.  The cache's bound graph is the residual subgraph itself
+        (``cache.graph``), built at most once per (epoch, bandwidth).
+        """
+        return self._path_caches.get(
+            ("residual", min_bandwidth),
+            self._epoch,
+            lambda: self.residual_graph(min_bandwidth),
+        )
+
+    # ------------------------------------------------------------------
     # resource mutation
     # ------------------------------------------------------------------
     def allocate_bandwidth(self, u: Node, v: Node, amount: float) -> None:
         """Reserve ``amount`` Mbps on link ``(u, v)``."""
         self.link(u, v).allocate(amount)
+        self._epoch += 1
 
     def release_bandwidth(self, u: Node, v: Node, amount: float) -> None:
         """Return ``amount`` Mbps to link ``(u, v)``."""
         self.link(u, v).release(amount)
+        self._epoch += 1
 
     def allocate_compute(self, node: Node, amount: float) -> None:
         """Reserve ``amount`` MHz on the server at ``node``."""
         self.server(node).allocate(amount)
+        self._epoch += 1
 
     def release_compute(self, node: Node, amount: float) -> None:
         """Return ``amount`` MHz to the server at ``node``."""
         self.server(node).release(amount)
+        self._epoch += 1
 
     # ------------------------------------------------------------------
     # snapshots
@@ -215,6 +266,7 @@ class SDNetwork:
             self._links[key].residual = residual
         for node, residual in snapshot.server_residuals.items():
             self._servers[node].residual = residual
+        self._epoch += 1
 
     def reset(self) -> None:
         """Return every resource to its full capacity."""
@@ -222,6 +274,7 @@ class SDNetwork:
             link.residual = link.capacity
         for server in self._servers.values():
             server.residual = server.capacity
+        self._epoch += 1
 
     # ------------------------------------------------------------------
     # aggregate statistics (used by metrics and figures)

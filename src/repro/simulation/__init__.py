@@ -7,6 +7,11 @@ from repro.simulation.engine import (
     run_sequential_capacitated,
 )
 from repro.simulation.metrics import OfflineRunStats, OnlineRunStats
+from repro.simulation.parallel import (
+    default_workers,
+    parallel_map,
+    set_default_workers,
+)
 from repro.simulation.trace import TraceEvent, TraceRecorder, record_online_run
 
 __all__ = [
@@ -14,6 +19,9 @@ __all__ = [
     "run_online",
     "run_online_with_departures",
     "run_sequential_capacitated",
+    "default_workers",
+    "parallel_map",
+    "set_default_workers",
     "OfflineRunStats",
     "OnlineRunStats",
     "TraceEvent",

@@ -1,0 +1,109 @@
+"""Process-pool fan-out for independent experiment trials.
+
+Every figure driver reduces to a grid of *data points* — one per (topology,
+ratio, size, …) tuple — and each point derives all of its randomness from
+explicit ``ExperimentProfile.seed_for(...)`` arguments.  Points therefore
+share no state and can run in any order on any worker, and the output is a
+pure function of the argument tuple.  This module exploits that:
+
+- :func:`parallel_map` fans ``func(*args)`` calls out across a process pool
+  and returns results **in submission order**, so a driver's series are
+  byte-identical to a serial run regardless of worker count or scheduling.
+- :func:`default_workers` reads the ``REPRO_WORKERS`` environment variable
+  (the CLI's ``--workers`` flag sets the same knob via
+  :func:`set_default_workers`), defaulting to the machine's CPU count.
+
+Determinism contract (see docs/API.md): a point function must be a
+module-level callable (picklable), must take every seed it uses as an
+explicit argument, and must not read mutable globals.  Under those rules
+``parallel_map(f, grid)`` ≡ ``[f(*args) for args in grid]`` for every
+worker count — the differential and figure tests rely on this equivalence.
+
+If the pool itself fails (a sandbox without working semaphores, a worker
+killed by the OOM killer), the runner falls back to serial execution rather
+than losing the experiment; genuine exceptions *raised by the point
+function* are re-raised unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "default_workers",
+    "parallel_map",
+    "set_default_workers",
+]
+
+#: Explicit override installed by :func:`set_default_workers` (CLI flag).
+_worker_override: Optional[int] = None
+
+
+def set_default_workers(count: Optional[int]) -> None:
+    """Set (or clear, with ``None``) the process-wide worker default.
+
+    Raises:
+        ValueError: if ``count`` is given and is less than 1.
+    """
+    global _worker_override
+    if count is not None and count < 1:
+        raise ValueError(f"worker count must be >= 1, got {count}")
+    _worker_override = count
+
+
+def default_workers() -> int:
+    """Resolve the worker count: override → ``REPRO_WORKERS`` → CPU count."""
+    if _worker_override is not None:
+        return _worker_override
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            value = 0
+        if value >= 1:
+            return value
+    return max(1, os.cpu_count() or 1)
+
+
+def _serial_map(
+    func: Callable[..., Any], grid: Sequence[Tuple]
+) -> List[Any]:
+    return [func(*args) for args in grid]
+
+
+def parallel_map(
+    func: Callable[..., Any],
+    grid: Sequence[Tuple],
+    workers: Optional[int] = None,
+) -> List[Any]:
+    """Evaluate ``func(*args)`` for every ``args`` in ``grid``.
+
+    Args:
+        func: a module-level (picklable) point function obeying the
+            determinism contract in the module docstring.
+        grid: argument tuples, one per data point.
+        workers: process count; ``None`` uses :func:`default_workers`.
+            A count of 1 (or a grid of at most one point) runs serially in
+            this process with no pool overhead.
+
+    Returns:
+        The point results in the same order as ``grid`` — identical to
+        ``[func(*args) for args in grid]``.
+    """
+    grid = list(grid)
+    count = default_workers() if workers is None else workers
+    if count < 1:
+        raise ValueError(f"worker count must be >= 1, got {count}")
+    count = min(count, len(grid))
+    if count <= 1:
+        return _serial_map(func, grid)
+    try:
+        with ProcessPoolExecutor(max_workers=count) as pool:
+            return list(pool.map(func, *zip(*grid)))
+    except (BrokenExecutor, OSError, PermissionError):
+        # Pool infrastructure failure (not a point-function error): the
+        # experiment still matters more than the speedup.
+        return _serial_map(func, grid)

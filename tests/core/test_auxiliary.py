@@ -177,3 +177,29 @@ class TestFastEvaluatorMatchesTextbookKMB:
             if solution is not None:
                 assert set(solution.used_servers) <= set(combination)
                 assert solution.tree.has_node(VIRTUAL_SOURCE)
+
+
+class TestVirtualSourcePickling:
+    """The sentinel must keep its ``is`` identity across process boundaries
+    (regression: the parallel runner pickles solutions containing it)."""
+
+    def test_round_trip_preserves_identity(self):
+        import pickle
+
+        for protocol in range(pickle.HIGHEST_PROTOCOL + 1):
+            clone = pickle.loads(pickle.dumps(VIRTUAL_SOURCE, protocol))
+            assert clone is VIRTUAL_SOURCE
+
+    def test_round_trip_inside_containers(self):
+        import pickle
+
+        payload = {"tree": [VIRTUAL_SOURCE, "a"], "root": VIRTUAL_SOURCE}
+        clone = pickle.loads(pickle.dumps(payload))
+        assert clone["root"] is VIRTUAL_SOURCE
+        assert clone["tree"][0] is VIRTUAL_SOURCE
+
+    def test_copy_module_preserves_identity(self):
+        import copy
+
+        assert copy.copy(VIRTUAL_SOURCE) is VIRTUAL_SOURCE
+        assert copy.deepcopy([VIRTUAL_SOURCE])[0] is VIRTUAL_SOURCE

@@ -1,0 +1,182 @@
+"""Differential harness: the cached engine against two independent oracles.
+
+The cross-request shortest-path cache and the memoized combination
+evaluator rewrote the hot path of ``Appro_Multi``.  This module pins the
+rewrite to the seed behaviour over a bank of seeded random instances:
+
+1. **Engine identity** — ``appro_multi`` (cached) returns a tree of exactly
+   the cost of ``appro_multi_reference`` (the seed engine: explicit scaled
+   topology copy, fresh Dijkstra per origin, every combination evaluated
+   from scratch), and both reject exactly the same infeasible instances.
+2. **Construction identity** — per combination, the cached evaluator's cost
+   equals KMB run on the *explicitly built* auxiliary graph, the slow
+   construction the paper defines.
+3. **Approximation bound** — on instances small enough for the exact
+   Dreyfus–Wagner oracle, the returned cost is within the paper's ``2K``
+   factor of the auxiliary-graph optimum (Theorem 1).
+
+Every instance derives from an explicit seed, so a failure names the exact
+graph that broke and is replayable in isolation.
+"""
+
+import pytest
+
+from repro.core import (
+    VIRTUAL_SOURCE,
+    CombinationEvaluator,
+    appro_multi,
+    appro_multi_detailed,
+    appro_multi_reference,
+    build_context,
+    explicit_auxiliary_graph,
+    iter_combinations,
+    optimal_auxiliary_cost,
+)
+from repro.exceptions import InfeasibleRequestError
+from repro.graph import kmb_steiner_tree, steiner_tree_cost
+from repro.network import build_sdn
+from repro.topology import waxman_graph
+from repro.workload import generate_workload
+
+#: Instance bank: enough seeds that tie-breaking, pruning, and memoization
+#: paths are all exercised, small enough graphs that the run stays quick.
+SEEDS = range(50)
+
+
+def make_instance(seed, nodes=16):
+    """One seeded (network, request) pair on a Waxman topology."""
+    graph, _ = waxman_graph(nodes, alpha=0.5, beta=0.5, seed=seed)
+    network = build_sdn(graph, seed=seed, server_fraction=0.3)
+    request = generate_workload(
+        graph, count=1, dmax_ratio=0.25, seed=seed + 10_000
+    )[0]
+    return network, request
+
+
+class TestEngineIdentity:
+    """Cached engine ≡ seed engine: same cost, same feasibility verdicts.
+
+    Costs are compared at ``rel=1e-12``, not bitwise: the cache scales each
+    Dijkstra *sum* by ``b_k`` once, while the seed engine sums pre-scaled
+    weights — the same paths, associativity apart.  A genuine regression
+    (wrong path, stale cache, missed combination) shifts the cost by whole
+    edge weights, many orders of magnitude above the tolerance.
+    """
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_cost_as_reference(self, seed):
+        network, request = make_instance(seed)
+        try:
+            expected = appro_multi_reference(network, request, max_servers=2)
+        except InfeasibleRequestError:
+            with pytest.raises(InfeasibleRequestError):
+                appro_multi(network, request, max_servers=2)
+            return
+        actual = appro_multi(network, request, max_servers=2)
+        assert actual.total_cost == pytest.approx(
+            expected.total_cost, rel=1e-12
+        )
+        assert actual.servers == expected.servers
+        assert actual.distribution_edges == expected.distribution_edges
+        assert actual.server_paths == expected.server_paths
+
+    @pytest.mark.parametrize("seed", range(0, 50, 5))
+    def test_same_cost_at_other_budgets(self, seed):
+        network, request = make_instance(seed)
+        for k in (1, 3):
+            try:
+                expected = appro_multi_reference(
+                    network, request, max_servers=k
+                )
+            except InfeasibleRequestError:
+                with pytest.raises(InfeasibleRequestError):
+                    appro_multi(network, request, max_servers=k)
+                continue
+            actual = appro_multi(network, request, max_servers=k)
+            assert actual.total_cost == pytest.approx(
+                expected.total_cost, rel=1e-12
+            )
+
+    @pytest.mark.parametrize("seed", range(0, 50, 10))
+    def test_detailed_combination_accounting_is_conserved(self, seed):
+        """The stronger prune may shift combinations from 'evaluated' to
+        'pruned', but every combination is still accounted exactly once."""
+        network, request = make_instance(seed)
+        chain_cost = {
+            v: network.chain_cost(v, request.compute_demand)
+            for v in network.server_nodes
+        }
+        try:
+            ctx = build_context(
+                graph=network.graph,
+                source=request.source,
+                destinations=sorted(request.destinations, key=repr),
+                servers=network.server_nodes,
+                chain_cost=chain_cost,
+                bandwidth=request.bandwidth,
+                cache=network.path_cache(),
+            )
+            detailed = appro_multi_detailed(network, request, max_servers=2)
+        except InfeasibleRequestError:
+            return
+        total = sum(1 for _ in iter_combinations(ctx.candidate_servers, 2))
+        assert (
+            detailed.combinations_evaluated + detailed.combinations_pruned
+            == total
+        )
+        assert detailed.combinations_evaluated >= 1
+
+
+class TestConstructionIdentity:
+    """Cached evaluator ≡ KMB on the explicitly built auxiliary graph."""
+
+    @pytest.mark.parametrize("seed", range(0, 50, 2))
+    def test_per_combination_costs_match_explicit_graph(self, seed):
+        network, request = make_instance(seed, nodes=14)
+        chain_cost = {
+            v: network.chain_cost(v, request.compute_demand)
+            for v in network.server_nodes
+        }
+        try:
+            ctx = build_context(
+                graph=network.graph,
+                source=request.source,
+                destinations=sorted(request.destinations, key=repr),
+                servers=network.server_nodes,
+                chain_cost=chain_cost,
+                bandwidth=request.bandwidth,
+                cache=network.path_cache(),
+            )
+        except InfeasibleRequestError:
+            return
+        evaluator = CombinationEvaluator(ctx)
+        terminals = [VIRTUAL_SOURCE] + list(ctx.destinations)
+        for combination in iter_combinations(ctx.candidate_servers, 2):
+            fast = evaluator.evaluate(combination)
+            aux = explicit_auxiliary_graph(ctx, combination)
+            try:
+                reference = kmb_steiner_tree(aux, terminals)
+            except Exception:
+                assert fast is None
+                continue
+            assert fast is not None
+            assert fast.cost == pytest.approx(
+                steiner_tree_cost(reference), rel=1e-9
+            )
+
+
+class TestApproximationBound:
+    """Theorem 1: cost(Appro_Multi) ≤ 2K · optimum on the auxiliary graph."""
+
+    @pytest.mark.parametrize("seed", range(0, 50, 4))
+    def test_within_2k_of_exact_optimum(self, seed):
+        k = 2
+        network, request = make_instance(seed, nodes=12)
+        try:
+            tree = appro_multi(network, request, max_servers=k)
+        except InfeasibleRequestError:
+            return
+        exact_cost, _ = optimal_auxiliary_cost(
+            network, request, max_servers=k
+        )
+        assert tree.total_cost <= 2 * k * exact_cost + 1e-6

@@ -103,3 +103,88 @@ def test_admit_then_depart_is_lossless(instance):
         assert abs(link.residual - link.capacity) < 1e-6
     for server in network.servers():
         assert abs(server.residual - server.capacity) < 1e-6
+
+
+# -- epoch invalidation: caches can never serve a stale residual graph ----
+
+from repro.graph import dijkstra
+
+
+@st.composite
+def mutation_sequences(draw):
+    """A network plus a random sequence of allocations and releases."""
+    seed = draw(st.integers(0, 5_000))
+    graph, _ = waxman_graph(14, alpha=0.5, beta=0.5, seed=seed)
+    network = build_sdn(graph, seed=seed, server_fraction=0.3)
+    edges = sorted((u, v) for u, v, _ in graph.edges())
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["alloc", "release"]),
+                st.integers(0, len(edges) - 1),
+                st.floats(1.0, 50.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    return network, edges, steps
+
+
+@settings(max_examples=20, deadline=None)
+@given(mutation_sequences(), st.floats(10.0, 120.0, allow_nan=False))
+def test_epoch_invalidation_tracks_every_mutation(sequence, threshold):
+    """After ANY allocate/release, the residual path cache must agree with
+    a fresh Dijkstra on the freshly recomputed residual graph."""
+    network, edges, steps = sequence
+    origin = network.server_nodes[0]
+    for action, index, amount in steps:
+        u, v = edges[index]
+        epoch_before = network.epoch
+        link = network.link(u, v)
+        if action == "alloc":
+            network.allocate_bandwidth(u, v, min(amount, link.residual))
+        else:
+            allocated = link.capacity - link.residual
+            network.release_bandwidth(u, v, min(amount, allocated))
+        assert network.epoch == epoch_before + 1
+
+        cache = network.residual_path_cache(min_bandwidth=threshold)
+        fresh_graph = network.residual_graph(threshold)
+        assert sorted(map(repr, cache.graph.nodes())) == sorted(
+            map(repr, fresh_graph.nodes())
+        )
+        if not cache.graph.has_node(origin):
+            continue
+        cached_tree = cache.tree(origin)
+        fresh_tree = dijkstra(fresh_graph, origin)
+        assert cached_tree.distance == fresh_tree.distance
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2_000))
+def test_restore_and_reset_invalidate_caches(seed):
+    """snapshot/restore and reset also bump the epoch, so caches built
+    before them are never served after."""
+    graph, _ = waxman_graph(12, alpha=0.5, beta=0.5, seed=seed)
+    network = build_sdn(graph, seed=seed, server_fraction=0.3)
+    origin = network.server_nodes[0]
+    threshold = 50.0
+
+    snapshot = network.snapshot()
+    before = network.residual_path_cache(threshold)
+    u, v, _ = next(iter(network.graph.edges()))
+    network.allocate_bandwidth(u, v, network.link(u, v).residual)
+    after_alloc = network.residual_path_cache(threshold)
+    assert after_alloc is not before
+
+    network.restore(snapshot)
+    after_restore = network.residual_path_cache(threshold)
+    assert after_restore is not after_alloc
+    if after_restore.graph.has_node(origin):
+        assert after_restore.tree(origin).distance == dijkstra(
+            network.residual_graph(threshold), origin
+        ).distance
+
+    network.reset()
+    assert network.residual_path_cache(threshold) is not after_restore

@@ -146,3 +146,49 @@ def test_unionfind_equivalence_classes(pairs):
         members = sorted(component)
         for other in members[1:]:
             assert ds.connected(members[0], other)
+
+
+# -- uniform-scaling invariants (the shortest-path cache's foundation) ----
+
+import pytest
+
+from repro.graph.spcache import ScaledGraphView, ShortestPathCache
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graphs(), st.floats(0.01, 1000.0, allow_nan=False))
+def test_uniform_scaling_preserves_shortest_paths(graph, factor):
+    """Multiplying every weight by f > 0 keeps every shortest path optimal:
+    the scaled tree's paths realize the scaled graph's true distances."""
+    scaled_graph = ScaledGraphView(graph, factor).copy()
+    fresh = dijkstra(scaled_graph, 0)
+    cached = ShortestPathCache(graph).scaled_tree(0, factor)
+    for node in graph.nodes():
+        assert cached.reaches(node) == fresh.reaches(node)
+        if not fresh.reaches(node):
+            continue
+        # path weights, evaluated on the scaled graph, match its distances
+        path = cached.path_to(node)
+        total = sum(
+            scaled_graph.weight(a, b) for a, b in zip(path, path[1:])
+        )
+        assert total == pytest.approx(fresh.distance[node], rel=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graphs(), st.floats(0.01, 1000.0, allow_nan=False))
+def test_scaled_distances_are_linear_in_the_factor(graph, factor):
+    """d_f(v) == f * d_1(v) exactly (one multiplication, no re-search)."""
+    cache = ShortestPathCache(graph)
+    base = cache.tree(0)
+    scaled = cache.scaled_tree(0, factor)
+    for node in graph.nodes():
+        if base.reaches(node):
+            assert scaled.distance[node] == base.distance[node] * factor
+    # and against an independent Dijkstra run on the scaled weights
+    fresh = dijkstra(ScaledGraphView(graph, factor).copy(), 0)
+    for node in graph.nodes():
+        if base.reaches(node):
+            assert scaled.distance[node] == pytest.approx(
+                fresh.distance[node], rel=1e-9
+            )

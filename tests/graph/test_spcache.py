@@ -1,0 +1,187 @@
+"""Unit tests for the versioned shortest-path cache."""
+
+import pytest
+
+from repro.graph import Graph, dijkstra
+from repro.graph.spcache import (
+    ScaledGraphView,
+    ScaledTree,
+    ShortestPathCache,
+    VersionedCacheRegistry,
+)
+from repro.topology import gt_itm_flat
+
+
+@pytest.fixture
+def diamond() -> Graph:
+    """a-b (1), b-d (2), a-c (2), c-d (2), a-d (10): two routes to d."""
+    return Graph.from_edges(
+        [
+            ("a", "b", 1.0),
+            ("b", "d", 2.0),
+            ("a", "c", 2.0),
+            ("c", "d", 2.0),
+            ("a", "d", 10.0),
+        ]
+    )
+
+
+class TestShortestPathCache:
+    def test_tree_matches_fresh_dijkstra(self, diamond):
+        cache = ShortestPathCache(diamond)
+        fresh = dijkstra(diamond, "a")
+        cached = cache.tree("a")
+        assert cached.distance == fresh.distance
+        assert cached.parent == fresh.parent
+
+    def test_repeated_lookups_share_one_tree(self, diamond):
+        cache = ShortestPathCache(diamond)
+        first = cache.tree("a")
+        second = cache.tree("a")
+        assert first is second
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_mapping_protocol(self, diamond):
+        cache = ShortestPathCache(diamond)
+        assert "a" in cache
+        assert "nope" not in cache
+        assert cache["a"].distance["d"] == pytest.approx(3.0)
+        assert len(cache) == 1  # one origin computed so far
+
+    def test_clear_drops_trees_but_keeps_graph(self, diamond):
+        cache = ShortestPathCache(diamond)
+        cache.tree("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.graph is diamond
+
+    def test_factor_one_returns_base_objects(self, diamond):
+        cache = ShortestPathCache(diamond)
+        assert cache.scaled_tree("a", 1.0) is cache.tree("a")
+        assert cache.scaled_view(1.0) is diamond
+
+
+class TestScaledTree:
+    def test_distances_scale_linearly(self, diamond):
+        cache = ShortestPathCache(diamond)
+        scaled = cache.scaled_tree("a", 2.5)
+        base = cache.tree("a")
+        assert isinstance(scaled, ScaledTree)
+        for node in diamond.nodes():
+            assert scaled.distance[node] == pytest.approx(
+                2.5 * base.distance[node]
+            )
+
+    def test_paths_are_scale_invariant(self, diamond):
+        cache = ShortestPathCache(diamond)
+        scaled = cache.scaled_tree("a", 7.0)
+        assert scaled.path_to("d") == cache.tree("a").path_to("d")
+        assert scaled.parent is cache.tree("a").parent
+
+    def test_reaches_and_missing_nodes(self):
+        graph = Graph.from_edges([("a", "b", 1.0)])
+        graph.add_node("island")
+        cache = ShortestPathCache(graph)
+        scaled = cache.scaled_tree("a", 3.0)
+        assert scaled.reaches("b")
+        assert not scaled.reaches("island")
+        assert "island" not in scaled.distance
+        assert scaled.distance.get("island") is None
+        assert scaled.distance.get("island", -1.0) == -1.0
+
+
+class TestScaledGraphView:
+    def test_weights_and_aggregates_scale(self, diamond):
+        view = ScaledGraphView(diamond, 3.0)
+        assert view.weight("a", "b") == pytest.approx(3.0)
+        assert view.total_weight() == pytest.approx(
+            3.0 * diamond.total_weight()
+        )
+        assert view.num_nodes == diamond.num_nodes
+        assert view.num_edges == diamond.num_edges
+        for (u, v, w), (bu, bv, bw) in zip(view.edges(), diamond.edges()):
+            assert (u, v) == (bu, bv)
+            assert w == pytest.approx(3.0 * bw)
+
+    def test_structure_is_scale_independent(self, diamond):
+        view = ScaledGraphView(diamond, 0.5)
+        assert view.has_edge("a", "b")
+        assert not view.has_edge("b", "c")
+        assert "a" in view
+        assert view.degree("a") == diamond.degree("a")
+        assert sorted(view.neighbors("a")) == sorted(diamond.neighbors("a"))
+
+    def test_copy_materializes_identical_structure(self, diamond):
+        view = ScaledGraphView(diamond, 2.0)
+        materialized = view.copy()
+        assert isinstance(materialized, Graph)
+        assert list(materialized.nodes()) == list(diamond.nodes())
+        for u, v, w in materialized.edges():
+            assert w == pytest.approx(2.0 * diamond.weight(u, v))
+        # the copy is independent of the base graph
+        materialized.add_edge("a", "z", 1.0)
+        assert not diamond.has_node("z")
+
+    def test_dijkstra_on_view_equals_scaled_cache(self, diamond):
+        # the view is a legal dijkstra input and agrees with ScaledTree
+        view = ScaledGraphView(diamond, 4.0)
+        fresh = dijkstra(view, "a")
+        scaled = ShortestPathCache(diamond).scaled_tree("a", 4.0)
+        for node in diamond.nodes():
+            assert fresh.distance[node] == pytest.approx(
+                scaled.distance[node]
+            )
+
+
+class TestVersionedCacheRegistry:
+    def test_same_version_hits_same_cache(self, diamond):
+        registry = VersionedCacheRegistry()
+        builds = []
+        builder = lambda: builds.append(1) or diamond
+        first = registry.get("k", 0, builder)
+        second = registry.get("k", 0, builder)
+        assert first is second
+        assert builds == [1]
+
+    def test_new_version_rebuilds_and_drops_stale(self, diamond):
+        registry = VersionedCacheRegistry()
+        old = registry.get("k", 0, lambda: diamond)
+        new = registry.get("k", 1, lambda: diamond)
+        assert new is not old
+        assert len(registry) == 1  # the version-0 entry is gone
+
+    def test_lru_bound_evicts_oldest(self, diamond):
+        registry = VersionedCacheRegistry(maxsize=2)
+        registry.get("a", 0, lambda: diamond)
+        registry.get("b", 0, lambda: diamond)
+        registry.get("c", 0, lambda: diamond)
+        assert len(registry) == 2
+        assert registry.evictions == 1
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            VersionedCacheRegistry(maxsize=0)
+
+
+def test_cache_scales_match_fresh_dijkstra_on_real_topology():
+    """End-to-end: cached+scaled distances equal scaled-graph Dijkstra."""
+    graph = gt_itm_flat(40, seed=11)
+    cache = ShortestPathCache(graph)
+    scaled_graph = ScaledGraphView(graph, 125.0).copy()
+    for origin in list(graph.nodes())[:5]:
+        fresh = dijkstra(scaled_graph, origin)
+        scaled = cache.scaled_tree(origin, 125.0)
+        for node in graph.nodes():
+            assert scaled.distance[node] == pytest.approx(
+                fresh.distance[node], rel=1e-12
+            )
+            assert scaled.path_to(node) == fresh.path_to(node) or (
+                sum(
+                    scaled_graph.weight(a, b)
+                    for a, b in zip(
+                        scaled.path_to(node), scaled.path_to(node)[1:]
+                    )
+                )
+                == pytest.approx(fresh.distance[node], rel=1e-12)
+            )

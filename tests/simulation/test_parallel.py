@@ -1,0 +1,137 @@
+"""The parallel runner's determinism contract and worker resolution."""
+
+import os
+
+import pytest
+
+from repro.simulation.parallel import (
+    default_workers,
+    parallel_map,
+    set_default_workers,
+)
+
+
+def _square_minus(x, y):
+    return x * x - y
+
+
+def _raise_for_three(x):
+    if x == 3:
+        raise ValueError("three")
+    return x
+
+
+@pytest.fixture(autouse=True)
+def _reset_worker_override():
+    yield
+    set_default_workers(None)
+
+
+class TestWorkerResolution:
+    def test_override_wins(self):
+        set_default_workers(5)
+        assert default_workers() == 5
+
+    def test_env_var_when_no_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_bad_env_var_falls_through_to_cpu_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "zero")
+        assert default_workers() == max(1, os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert default_workers() == max(1, os.cpu_count() or 1)
+
+    def test_override_validation(self):
+        with pytest.raises(ValueError):
+            set_default_workers(0)
+        set_default_workers(None)  # clearing is always allowed
+
+
+class TestParallelMap:
+    def test_serial_matches_list_comprehension(self):
+        grid = [(x, y) for x in range(5) for y in range(3)]
+        expected = [_square_minus(*args) for args in grid]
+        assert parallel_map(_square_minus, grid, workers=1) == expected
+
+    def test_pool_matches_serial_in_submission_order(self):
+        grid = [(x, y) for x in range(7) for y in range(2)]
+        expected = parallel_map(_square_minus, grid, workers=1)
+        assert parallel_map(_square_minus, grid, workers=2) == expected
+        assert parallel_map(_square_minus, grid, workers=4) == expected
+
+    def test_empty_grid(self):
+        assert parallel_map(_square_minus, [], workers=4) == []
+
+    def test_single_point_runs_serially(self):
+        # workers is clamped to the grid size, so no pool is spawned
+        assert parallel_map(_square_minus, [(2, 1)], workers=8) == [3]
+
+    def test_point_function_errors_propagate(self):
+        with pytest.raises(ValueError, match="three"):
+            parallel_map(_raise_for_three, [(1,), (3,)], workers=1)
+        with pytest.raises(ValueError, match="three"):
+            parallel_map(_raise_for_three, [(1,), (3,)], workers=2)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square_minus, [(1, 1)], workers=0)
+
+    def test_generator_grid_accepted(self):
+        grid = ((x, 0) for x in range(4))
+        assert parallel_map(_square_minus, grid, workers=2) == [0, 1, 4, 9]
+
+
+def test_driver_point_functions_are_picklable():
+    """Every driver point function must survive the pickle round trip the
+    process pool performs — a module-level def, not a closure."""
+    import pickle
+
+    from repro.analysis.ablations import (
+        _ablate_cost_model_point,
+        _ablate_k_point,
+        _ablate_kmb_point,
+        _ablate_online_k_point,
+        _ablate_thresholds_point,
+        _ablate_topology_point,
+    )
+    from repro.analysis.fig5 import _fig5_point
+    from repro.analysis.fig6 import _fig6_point
+    from repro.analysis.fig7 import _fig7_point
+    from repro.analysis.fig8 import _fig8_point
+    from repro.analysis.fig9 import _fig9_point
+
+    for func in (
+        _fig5_point,
+        _fig6_point,
+        _fig7_point,
+        _fig8_point,
+        _fig9_point,
+        _ablate_k_point,
+        _ablate_cost_model_point,
+        _ablate_thresholds_point,
+        _ablate_kmb_point,
+        _ablate_online_k_point,
+        _ablate_topology_point,
+    ):
+        assert pickle.loads(pickle.dumps(func)) is func
+
+
+def test_fig5_point_results_cross_process_boundary():
+    """A real driver point both pickles its arguments and returns identical
+    results through the pool (exercises the _VirtualSource reduction)."""
+    from repro.analysis.fig5 import _fig5_point
+    from repro.analysis.profiles import get_profile
+
+    profile = get_profile("fast")
+    size = profile.network_sizes[0]
+    grid = [(profile, profile.ratios[0], size)]
+    serial = parallel_map(_fig5_point, grid, workers=1)
+    try:
+        pooled = parallel_map(_fig5_point, grid * 2, workers=2)
+    except Exception:  # pragma: no cover - sandboxes without semaphores
+        pytest.skip("process pool unavailable in this environment")
+    # costs are deterministic; runtimes are wall-clock and excluded
+    assert pooled[0][0] == serial[0][0]
+    assert pooled[0][2] == serial[0][2]
+    assert pooled[1][0] == serial[0][0]
