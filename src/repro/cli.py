@@ -5,12 +5,15 @@ Examples::
     python -m repro.cli list
     python -m repro.cli fig5 --profile fast
     python -m repro.cli all --profile paper --output EXPERIMENTS.md
+    python -m repro.cli fig5 --profile --metrics-out metrics.json
+    python -m repro.cli bench
     python -m repro.cli demo
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -20,6 +23,10 @@ from repro.analysis.report import (
     build_experiments_markdown,
     run_all,
 )
+
+#: ``--profile`` with no value: keep the default experiment scale but turn
+#: on phase profiling (print the span-hierarchy table after the run).
+_PROFILE_BARE = "::phases::"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -40,6 +47,23 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--size", type=int, default=50, help="network size")
     demo.add_argument("--seed", type=int, default=7, help="RNG seed")
 
+    bench = subparsers.add_parser(
+        "bench",
+        help="GEANT telemetry micro-benchmark (writes BENCH_obs.json)",
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_obs.json",
+        help="artifact path (default: BENCH_obs.json)",
+    )
+    bench.add_argument(
+        "--requests", type=int, default=40, help="batch size (default 40)"
+    )
+    bench.add_argument(
+        "--rounds", type=int, default=3,
+        help="timing rounds for the disabled baseline (default 3)",
+    )
+
     for name in list(EXPERIMENTS) + ["all"]:
         sub = subparsers.add_parser(
             name,
@@ -50,8 +74,24 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--profile",
+            nargs="?",
+            const=_PROFILE_BARE,
             default="fast",
-            help="experiment scale: 'fast' (default) or 'paper'",
+            metavar="SCALE",
+            help=(
+                "with a value: experiment scale, 'fast' (default) or "
+                "'paper'; with no value: keep the default scale and print "
+                "a solver phase-breakdown table after the run"
+            ),
+        )
+        sub.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help=(
+                "write the telemetry snapshot as JSON to PATH and as "
+                "Prometheus text format to PATH with a .prom extension"
+            ),
         )
         sub.add_argument(
             "--output",
@@ -133,6 +173,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_demo(args.size, args.seed)
         return 0
 
+    if args.command == "bench":
+        from repro.obs.bench import render_bench_summary, run_obs_benchmark
+
+        payload = run_obs_benchmark(
+            output_path=args.output,
+            requests=args.requests,
+            rounds=args.rounds,
+        )
+        for line in render_bench_summary(payload):
+            print(line)
+        print(f"wrote {args.output}")
+        return 0
+
     if getattr(args, "workers", None) is not None:
         from repro.simulation import set_default_workers
 
@@ -142,7 +195,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: --workers: {exc}", file=sys.stderr)
             return 2
 
-    profile = get_profile(args.profile)
+    profile_arg = getattr(args, "profile", "fast")
+    show_phases = profile_arg == _PROFILE_BARE
+    metrics_out = getattr(args, "metrics_out", None)
+    collect_metrics = show_phases or metrics_out is not None
+    if collect_metrics:
+        from repro import obs
+
+        obs.enable()
+        obs.reset()
+
+    profile = get_profile("fast" if show_phases else profile_arg)
     names = None if args.command == "all" else [args.command]
     results = run_all(profile, names=names)
 
@@ -167,6 +230,24 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         write_json(results, args.json)
         print(f"wrote {args.json}")
+    if collect_metrics:
+        from repro import obs
+        from repro.obs.export import (
+            render_phase_table,
+            write_json as write_metrics_json,
+            write_prometheus,
+        )
+
+        snap = obs.snapshot()
+        if show_phases:
+            print()
+            print(render_phase_table(snap))
+        if metrics_out:
+            write_metrics_json(snap, metrics_out)
+            prom_path = os.path.splitext(metrics_out)[0] + ".prom"
+            write_prometheus(snap, prom_path)
+            print(f"wrote {metrics_out}")
+            print(f"wrote {prom_path}")
     return 0
 
 

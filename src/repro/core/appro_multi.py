@@ -32,6 +32,7 @@ from repro.core.fasteval import CombinationEvaluator
 from repro.core.pseudo_tree import PseudoMulticastTree
 from repro.exceptions import InfeasibleRequestError
 from repro.network.sdn import SDNetwork
+from repro.obs import inc as _obs_inc, span as _obs_span
 from repro.workload.request import MulticastRequest
 
 Node = Hashable
@@ -102,30 +103,36 @@ def _search(
     the evaluated/pruned statistics may differ.
     """
     evaluator = CombinationEvaluator(ctx)
-    combinations = list(iter_combinations(ctx.candidate_servers, max_servers))
-    bounds = [evaluator.lower_bound(c) for c in combinations]
-    order = sorted(range(len(combinations)), key=bounds.__getitem__)
+    with _obs_span("enumerate"):
+        combinations = list(
+            iter_combinations(ctx.candidate_servers, max_servers)
+        )
+        bounds = [evaluator.lower_bound(c) for c in combinations]
+        order = sorted(range(len(combinations)), key=bounds.__getitem__)
 
     best: Optional[SubsetSolution] = None
     best_index = -1
     evaluated = 0
     pruned = 0
-    for index in order:
-        if best is not None and bounds[index] > best.cost:
-            # Everything later in the order is bounded even higher.
-            pruned += len(combinations) - evaluated - pruned
-            break
-        solution = evaluator.evaluate(combinations[index])
-        evaluated += 1
-        if solution is None:
-            continue
-        if (
-            best is None
-            or solution.cost < best.cost
-            or (solution.cost == best.cost and index < best_index)
-        ):
-            best = solution
-            best_index = index
+    with _obs_span("evaluate"):
+        for index in order:
+            if best is not None and bounds[index] > best.cost:
+                # Everything later in the order is bounded even higher.
+                pruned += len(combinations) - evaluated - pruned
+                break
+            solution = evaluator.evaluate(combinations[index])
+            evaluated += 1
+            if solution is None:
+                continue
+            if (
+                best is None
+                or solution.cost < best.cost
+                or (solution.cost == best.cost and index < best_index)
+            ):
+                best = solution
+                best_index = index
+    _obs_inc("appro_multi.combinations_evaluated", evaluated)
+    _obs_inc("appro_multi.combinations_pruned", pruned)
     if best is None:
         raise InfeasibleRequestError(
             f"request {request.request_id}: no feasible pseudo-multicast tree"
@@ -204,20 +211,23 @@ def appro_multi_detailed(
     """Like :func:`appro_multi` but also reports search statistics."""
     if max_servers < 1:
         raise ValueError(f"K must be >= 1, got {max_servers}")
-    servers = network.server_nodes
-    chain_cost = {
-        v: network.chain_cost(v, request.compute_demand) for v in servers
-    }
-    ctx = build_context(
-        graph=network.graph,
-        source=request.source,
-        destinations=sorted(request.destinations, key=repr),
-        servers=servers,
-        chain_cost=chain_cost,
-        bandwidth=request.bandwidth,
-        cache=network.path_cache(),
-    )
-    return _search(ctx, request, max_servers)
+    with _obs_span("appro_multi"):
+        _obs_inc("appro_multi.invocations")
+        servers = network.server_nodes
+        chain_cost = {
+            v: network.chain_cost(v, request.compute_demand) for v in servers
+        }
+        with _obs_span("aux_build"):
+            ctx = build_context(
+                graph=network.graph,
+                source=request.source,
+                destinations=sorted(request.destinations, key=repr),
+                servers=servers,
+                chain_cost=chain_cost,
+                bandwidth=request.bandwidth,
+                cache=network.path_cache(),
+            )
+        return _search(ctx, request, max_servers)
 
 
 def appro_multi_reference(
@@ -267,26 +277,29 @@ def appro_multi_cap(
     """
     if max_servers < 1:
         raise ValueError(f"K must be >= 1, got {max_servers}")
-    # The residual graph changes with every allocation, so the cache is
-    # keyed on the network's epoch counter: a fresh epoch (or bandwidth
-    # threshold) rebuilds the pruned topology and its Dijkstra trees.
-    cache = network.residual_path_cache(min_bandwidth=request.bandwidth)
-    eligible = network.feasible_servers(request.compute_demand)
-    if not eligible:
-        raise InfeasibleRequestError(
-            f"request {request.request_id}: no server has "
-            f"{request.compute_demand:.0f} MHz available"
-        )
-    chain_cost = {
-        v: network.chain_cost(v, request.compute_demand) for v in eligible
-    }
-    ctx = build_context(
-        graph=cache.graph,
-        source=request.source,
-        destinations=sorted(request.destinations, key=repr),
-        servers=eligible,
-        chain_cost=chain_cost,
-        bandwidth=request.bandwidth,
-        cache=cache,
-    )
-    return _search(ctx, request, max_servers).tree
+    with _obs_span("appro_multi_cap"):
+        _obs_inc("appro_multi_cap.invocations")
+        # The residual graph changes with every allocation, so the cache is
+        # keyed on the network's epoch counter: a fresh epoch (or bandwidth
+        # threshold) rebuilds the pruned topology and its Dijkstra trees.
+        cache = network.residual_path_cache(min_bandwidth=request.bandwidth)
+        eligible = network.feasible_servers(request.compute_demand)
+        if not eligible:
+            raise InfeasibleRequestError(
+                f"request {request.request_id}: no server has "
+                f"{request.compute_demand:.0f} MHz available"
+            )
+        chain_cost = {
+            v: network.chain_cost(v, request.compute_demand) for v in eligible
+        }
+        with _obs_span("aux_build"):
+            ctx = build_context(
+                graph=cache.graph,
+                source=request.source,
+                destinations=sorted(request.destinations, key=repr),
+                servers=eligible,
+                chain_cost=chain_cost,
+                bandwidth=request.bandwidth,
+                cache=cache,
+            )
+        return _search(ctx, request, max_servers).tree

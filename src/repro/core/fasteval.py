@@ -42,6 +42,7 @@ from repro.graph.graph import Graph, Node
 from repro.graph.mst import kruskal_mst, prim_mst
 from repro.graph.shortest_paths import INFINITY
 from repro.graph.tree import prune_leaves
+from repro.obs import inc as _obs_inc, span as _obs_span
 
 #: ``(distance, case, v1, v2)`` as produced by ``_modified_distance``.
 _Entry = Tuple[float, int, Optional[Node], Optional[Node]]
@@ -256,6 +257,7 @@ class CombinationEvaluator:
         members = tuple(v for v in combination if v in virtual_weight)
         if not members:
             return None
+        _obs_inc("fasteval.evaluations")
         zero_key = tuple(v for v in members if v in ctx.adjacent_servers)
 
         closure_data = self._closure(zero_key)
@@ -264,6 +266,7 @@ class CombinationEvaluator:
 
         winners, lower = self._winners_for(zero_key, members)
         if bound is not None and lower >= bound:
+            _obs_inc("fasteval.bound_pruned")
             return PRUNED
         if winners is None:
             return None
@@ -274,6 +277,7 @@ class CombinationEvaluator:
         memo_key = (zero_key, tuple(winners))
         if memo_key in self._solutions:
             cached = self._solutions[memo_key]
+            _obs_inc("fasteval.solution_memo_hits")
             if cached is None:
                 return None
             return SubsetSolution(
@@ -283,39 +287,42 @@ class CombinationEvaluator:
                 tree=cached.tree,
             )
 
-        destinations = ctx.destinations
-        closure = closure_data.template.copy()
-        pair_choice = closure_data.pair_choice
-        virtual_choice: Dict[Node, Tuple] = {}
-        for y, best in zip(destinations, winners):
-            closure.add_edge(VIRTUAL_SOURCE, y, best[0])
-            virtual_choice[y] = best
+        _obs_inc("fasteval.kmb_trees")
+        with _obs_span("kmb"):
+            destinations = ctx.destinations
+            closure = closure_data.template.copy()
+            pair_choice = closure_data.pair_choice
+            virtual_choice: Dict[Node, Tuple] = {}
+            for y, best in zip(destinations, winners):
+                closure.add_edge(VIRTUAL_SOURCE, y, best[0])
+                virtual_choice[y] = best
 
-        closure_mst = prim_mst(closure)
+            closure_mst = prim_mst(closure)
 
-        expanded = Graph()
-        for u, v, _ in closure_mst.edges():
-            if u is VIRTUAL_SOURCE or v is VIRTUAL_SOURCE:
-                y = v if u is VIRTUAL_SOURCE else u
-                _, server, case, v1, v2 = virtual_choice[y]
-                expanded.add_edge(
-                    VIRTUAL_SOURCE, server, virtual_weight[server]
-                )
-                for eu, ev, ew in self._path_edges(
-                    zero_key, server, y, case, v1, v2
-                ):
-                    expanded.add_edge(eu, ev, ew)
-            else:
-                a, b = (u, v) if (u, v) in pair_choice else (v, u)
-                _, case, v1, v2 = pair_choice[(a, b)]
-                for eu, ev, ew in self._path_edges(
-                    zero_key, a, b, case, v1, v2
-                ):
-                    expanded.add_edge(eu, ev, ew)
+            expanded = Graph()
+            for u, v, _ in closure_mst.edges():
+                if u is VIRTUAL_SOURCE or v is VIRTUAL_SOURCE:
+                    y = v if u is VIRTUAL_SOURCE else u
+                    _, server, case, v1, v2 = virtual_choice[y]
+                    expanded.add_edge(
+                        VIRTUAL_SOURCE, server, virtual_weight[server]
+                    )
+                    for eu, ev, ew in self._path_edges(
+                        zero_key, server, y, case, v1, v2
+                    ):
+                        expanded.add_edge(eu, ev, ew)
+                else:
+                    a, b = (u, v) if (u, v) in pair_choice else (v, u)
+                    _, case, v1, v2 = pair_choice[(a, b)]
+                    for eu, ev, ew in self._path_edges(
+                        zero_key, a, b, case, v1, v2
+                    ):
+                        expanded.add_edge(eu, ev, ew)
 
-        refined = kruskal_mst(expanded)
-        terminals: List[Node] = [VIRTUAL_SOURCE] + list(destinations)
-        pruned = prune_leaves(refined, keep=terminals)
+            refined = kruskal_mst(expanded)
+            terminals: List[Node] = [VIRTUAL_SOURCE] + list(destinations)
+            with _obs_span("prune"):
+                pruned = prune_leaves(refined, keep=terminals)
 
         used = tuple(
             sorted(

@@ -18,6 +18,7 @@ from repro.core.pseudo_tree import PseudoMulticastTree
 from repro.exceptions import SimulationError
 from repro.network.allocation import AllocationTransaction
 from repro.network.sdn import SDNetwork
+from repro.obs import inc as _obs_inc, span as _obs_span
 from repro.workload.request import MulticastRequest
 
 
@@ -84,13 +85,20 @@ class OnlineAlgorithm(abc.ABC):
 
     def process(self, request: MulticastRequest) -> OnlineDecision:
         """Decide on ``request``, reserving resources if admitted."""
-        decision = self._decide(request)
+        _obs_inc("online.decisions")
+        with _obs_span("online_decide"):
+            decision = self._decide(request)
         if decision.admitted:
             if decision.tree is None or decision.transaction is None:
                 raise SimulationError(
                     "an admitted decision must carry a tree and a transaction"
                 )
             self._active[request.request_id] = decision
+            _obs_inc("online.admitted")
+        else:
+            _obs_inc("online.rejected")
+            if decision.reason is not None:
+                _obs_inc(f"online.rejected.{decision.reason.value}")
         self._decisions.append(decision)
         return decision
 

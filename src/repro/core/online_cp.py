@@ -34,6 +34,7 @@ from repro.graph.spcache import ShortestPathCache, VersionedCacheRegistry
 from repro.graph.steiner import kmb_steiner_tree_cached
 from repro.graph.tree import RootedTree
 from repro.network.sdn import SDNetwork
+from repro.obs import inc as _obs_inc, span as _obs_span
 from repro.workload.request import MulticastRequest
 
 Node = Hashable
@@ -129,6 +130,7 @@ class OnlineCP(OnlineAlgorithm):
             saw_server_pass = True
             if not source_tree.reaches(server):
                 continue
+            _obs_inc("online_cp.candidates")
             terminals = [request.source, server] + destinations
             try:
                 tree = kmb_steiner_tree_cached(weighted, sp_cache, terminals)
@@ -141,12 +143,15 @@ class OnlineCP(OnlineAlgorithm):
             saw_tree_built = True
             if not self._policy.tree_admissible(tree_weight):
                 continue
-            rooted = RootedTree(tree, request.source)
-            meeting = rooted.lca_of_set([server] + destinations)
-            detour_weight = sum(
-                self._model.edge_weight(network, u, v)
-                for u, v in _path_edges(rooted.path_between(server, meeting))
-            )
+            with _obs_span("lca_correction"):
+                rooted = RootedTree(tree, request.source)
+                meeting = rooted.lca_of_set([server] + destinations)
+                detour_weight = sum(
+                    self._model.edge_weight(network, u, v)
+                    for u, v in _path_edges(
+                        rooted.path_between(server, meeting)
+                    )
+                )
             selection = tree_weight + server_weight + detour_weight
             if best is None or selection < best.selection_weight:
                 best = _Candidate(

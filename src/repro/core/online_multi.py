@@ -32,6 +32,7 @@ from repro.core.pseudo_tree import PseudoMulticastTree
 from repro.exceptions import InfeasibleRequestError
 from repro.graph.spcache import ShortestPathCache, VersionedCacheRegistry
 from repro.network.sdn import SDNetwork
+from repro.obs import inc as _obs_inc, span as _obs_span
 from repro.workload.request import MulticastRequest
 
 Node = Hashable
@@ -113,34 +114,39 @@ class OnlineCPK(OnlineAlgorithm):
             v: self._model.node_weight(network, v) for v in admissible
         }
         try:
-            ctx = build_context(
-                graph=cache.graph,
-                source=request.source,
-                destinations=sorted(request.destinations, key=repr),
-                servers=admissible,
-                chain_cost=server_weight,
-                bandwidth=1.0,  # weights are already congestion-priced
-                cache=cache,
-            )
+            with _obs_span("aux_build"):
+                ctx = build_context(
+                    graph=cache.graph,
+                    source=request.source,
+                    destinations=sorted(request.destinations, key=repr),
+                    servers=admissible,
+                    chain_cost=server_weight,
+                    bandwidth=1.0,  # weights are already congestion-priced
+                    cache=cache,
+                )
         except InfeasibleRequestError:
             return self._reject(request, RejectReason.DISCONNECTED)
 
         evaluator = CombinationEvaluator(ctx)
         best = None
-        for combination in iter_combinations(
-            ctx.candidate_servers, self._max_servers
-        ):
-            bound = None
-            if best is not None:
-                bound = best.cost
-                floor = min(ctx.virtual_weight[v] for v in combination)
-                if floor >= bound:
+        with _obs_span("evaluate"):
+            for combination in iter_combinations(
+                ctx.candidate_servers, self._max_servers
+            ):
+                _obs_inc("online_cpk.combinations")
+                bound = None
+                if best is not None:
+                    bound = best.cost
+                    floor = min(
+                        ctx.virtual_weight[v] for v in combination
+                    )
+                    if floor >= bound:
+                        continue
+                solution = evaluator.evaluate(combination, bound=bound)
+                if solution is PRUNED or solution is None:
                     continue
-            solution = evaluator.evaluate(combination, bound=bound)
-            if solution is PRUNED or solution is None:
-                continue
-            if best is None or solution.cost < best.cost:
-                best = solution
+                if best is None or solution.cost < best.cost:
+                    best = solution
         if best is None:
             return self._reject(request, RejectReason.DISCONNECTED)
 

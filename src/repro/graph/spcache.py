@@ -49,6 +49,7 @@ from typing import (
 
 from repro.graph.graph import Graph, Node
 from repro.graph.shortest_paths import ShortestPathTree, dijkstra
+from repro.obs import inc as _obs_inc, span as _obs_span
 
 
 class ScaledDistances(Mapping):
@@ -256,9 +257,12 @@ class ShortestPathCache:
         cached = self._trees.get(origin)
         if cached is not None:
             self.hits += 1
+            _obs_inc("spcache.hits")
             return cached
         self.misses += 1
-        tree = dijkstra(self._graph, origin)
+        _obs_inc("spcache.misses")
+        with _obs_span("dijkstra"):
+            tree = dijkstra(self._graph, origin)
         self._trees[origin] = tree
         return tree
 
@@ -309,7 +313,7 @@ class VersionedCacheRegistry:
     when bandwidths vary per request.
     """
 
-    __slots__ = ("_entries", "_maxsize", "evictions")
+    __slots__ = ("_entries", "_maxsize", "evictions", "invalidations")
 
     def __init__(self, maxsize: int = 8) -> None:
         if maxsize < 1:
@@ -319,6 +323,8 @@ class VersionedCacheRegistry:
         self._maxsize = maxsize
         #: Number of entries dropped by the LRU bound (observability).
         self.evictions = 0
+        #: Number of entries dropped because their epoch went stale.
+        self.invalidations = 0
 
     def get(
         self,
@@ -335,16 +341,23 @@ class VersionedCacheRegistry:
         cache = self._entries.get(entry_key)
         if cache is not None:
             self._entries.move_to_end(entry_key)
+            _obs_inc("spregistry.hits")
             return cache
+        _obs_inc("spregistry.misses")
         # Any entry for this key at another version is unreachable forever.
         stale = [k for k in self._entries if k[0] == key and k[1] != version]
+        if stale:
+            self.invalidations += len(stale)
+            _obs_inc("spregistry.invalidations", len(stale))
         for k in stale:
             del self._entries[k]
-        cache = ShortestPathCache(builder())
+        with _obs_span("cache_build"):
+            cache = ShortestPathCache(builder())
         self._entries[entry_key] = cache
         while len(self._entries) > self._maxsize:
             self._entries.popitem(last=False)
             self.evictions += 1
+            _obs_inc("spregistry.evictions")
         return cache
 
     def clear(self) -> None:

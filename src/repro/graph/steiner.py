@@ -25,6 +25,7 @@ from repro.graph.graph import Graph, Node
 from repro.graph.mst import kruskal_mst, prim_mst
 from repro.graph.shortest_paths import ShortestPathTree, dijkstra
 from repro.graph.tree import prune_leaves
+from repro.obs import inc as _obs_inc, span as _obs_span
 
 
 @dataclass(frozen=True)
@@ -98,22 +99,25 @@ def kmb_steiner_tree(graph: Graph, terminals: Sequence[Node]) -> Graph:
         tree.add_node(only)
         return tree
 
-    # Steps 1-2: MST of the metric closure.
-    closure = metric_closure(graph, terminal_list)
-    closure_mst = prim_mst(closure.closure)
+    _obs_inc("kmb.calls")
+    with _obs_span("kmb"):
+        # Steps 1-2: MST of the metric closure.
+        closure = metric_closure(graph, terminal_list)
+        closure_mst = prim_mst(closure.closure)
 
-    # Step 3: expand closure MST edges into shortest paths.
-    expanded = Graph()
-    for u, v, _ in closure_mst.edges():
-        path = closure.expand_edge(u, v)
-        for a, b in zip(path, path[1:]):
-            expanded.add_edge(a, b, graph.weight(a, b))
+        # Step 3: expand closure MST edges into shortest paths.
+        expanded = Graph()
+        for u, v, _ in closure_mst.edges():
+            path = closure.expand_edge(u, v)
+            for a, b in zip(path, path[1:]):
+                expanded.add_edge(a, b, graph.weight(a, b))
 
-    # Step 4: MST of the expanded subgraph (it is connected by construction).
-    expanded_mst = kruskal_mst(expanded)
+        # Step 4: MST of the expanded subgraph (connected by construction).
+        expanded_mst = kruskal_mst(expanded)
 
-    # Step 5: drop non-terminal leaves.
-    return prune_leaves(expanded_mst, keep=terminal_list)
+        # Step 5: drop non-terminal leaves.
+        with _obs_span("prune"):
+            return prune_leaves(expanded_mst, keep=terminal_list)
 
 
 def kmb_steiner_tree_cached(
@@ -148,28 +152,31 @@ def kmb_steiner_tree_cached(
         tree.add_node(only)
         return tree
 
-    closure = Graph()
-    for terminal in terminal_list:
-        closure.add_node(terminal)
-    for i, u in enumerate(terminal_list):
-        distances = trees[u].distance
-        for v in terminal_list[i + 1 :]:
-            if v not in distances:
-                raise DisconnectedGraphError(
-                    f"terminals {u!r} and {v!r} are disconnected"
-                )
-            closure.add_edge(u, v, distances[v])
-    closure_mst = prim_mst(closure)
+    _obs_inc("kmb.calls")
+    with _obs_span("kmb"):
+        closure = Graph()
+        for terminal in terminal_list:
+            closure.add_node(terminal)
+        for i, u in enumerate(terminal_list):
+            distances = trees[u].distance
+            for v in terminal_list[i + 1 :]:
+                if v not in distances:
+                    raise DisconnectedGraphError(
+                        f"terminals {u!r} and {v!r} are disconnected"
+                    )
+                closure.add_edge(u, v, distances[v])
+        closure_mst = prim_mst(closure)
 
-    expanded = Graph()
-    for u, v, _ in closure_mst.edges():
-        anchor = u if u in trees else v
-        other = v if anchor == u else u
-        path = trees[anchor].path_to(other)
-        for a, b in zip(path, path[1:]):
-            expanded.add_edge(a, b, graph.weight(a, b))
-    expanded_mst = kruskal_mst(expanded)
-    return prune_leaves(expanded_mst, keep=terminal_list)
+        expanded = Graph()
+        for u, v, _ in closure_mst.edges():
+            anchor = u if u in trees else v
+            other = v if anchor == u else u
+            path = trees[anchor].path_to(other)
+            for a, b in zip(path, path[1:]):
+                expanded.add_edge(a, b, graph.weight(a, b))
+        expanded_mst = kruskal_mst(expanded)
+        with _obs_span("prune"):
+            return prune_leaves(expanded_mst, keep=terminal_list)
 
 
 def steiner_tree_cost(tree: Graph) -> float:

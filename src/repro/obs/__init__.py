@@ -1,0 +1,77 @@
+"""Observability: solver-wide counters, phase spans, and exporters.
+
+The standing telemetry harness every perf/robustness change reports
+against (see ``docs/OBSERVABILITY.md`` for the metric catalogue, the span
+hierarchy, the overhead contract, and the exporter formats).
+
+Usage from instrumented code (hot-path contract: import the helpers once
+at module top, call them unconditionally — they no-op while disabled)::
+
+    from repro.obs import inc as _obs_inc, span as _obs_span
+
+    with _obs_span("kmb"):
+        _obs_inc("kmb.calls")
+        ...
+
+Usage from drivers::
+
+    from repro import obs
+
+    obs.enable()
+    ...run experiments...
+    payload = obs.snapshot()
+"""
+
+from repro.obs.export import (
+    parse_prometheus,
+    render_phase_table,
+    to_json,
+    to_prometheus,
+    write_json,
+    write_prometheus,
+)
+from repro.obs.registry import (
+    NULL_SPAN,
+    MetricsRegistry,
+    Span,
+    TimerStat,
+    counters,
+    counters_since,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    inc,
+    merge,
+    observe,
+    registry,
+    reset,
+    snapshot,
+    span,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "TimerStat",
+    "counters",
+    "counters_since",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "inc",
+    "merge",
+    "observe",
+    "parse_prometheus",
+    "registry",
+    "render_phase_table",
+    "reset",
+    "snapshot",
+    "span",
+    "to_json",
+    "to_prometheus",
+    "write_json",
+    "write_prometheus",
+]

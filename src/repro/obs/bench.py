@@ -1,0 +1,136 @@
+"""The GEANT telemetry micro-benchmark behind ``repro bench``.
+
+Runs the same batch as ``benchmarks/test_spcache.py`` — ``Appro_Multi``
+over a seeded request set on the GÉANT topology — twice:
+
+1. with telemetry **disabled**, timed best-of-``rounds``; this records the
+   ``disabled_baseline_seconds`` that the CI overhead guard
+   (``benchmarks/test_obs_overhead.py``) holds instrumented code to;
+2. with telemetry **enabled**, once, to harvest the phase-timer hierarchy
+   (auxiliary-graph build, enumeration, KMB, pruning, Dijkstra fills) and
+   the counter totals.
+
+The result lands in ``BENCH_obs.json`` — the artifact that seeds the bench
+trajectory for future perf PRs.  Run it from the CLI::
+
+    python -m repro.cli bench [--output BENCH_obs.json] [--requests 40]
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+from repro import obs
+
+#: Defaults mirror benchmarks/test_spcache.py so the artifacts compare.
+DEFAULT_REQUESTS = 40
+DEFAULT_ROUNDS = 3
+DEFAULT_SEED = 20170605  # ICDCS 2017
+TOPOLOGY = "GEANT"
+
+
+def _batch(requests: int, seed: int):
+    from repro.analysis.common import build_real_network, make_requests
+
+    network = build_real_network(TOPOLOGY, seed)
+    batch = make_requests(network.graph, requests, 0.2, seed + 1)
+    return network, batch
+
+
+def measure_disabled_seconds(
+    requests: int = DEFAULT_REQUESTS,
+    rounds: int = DEFAULT_ROUNDS,
+    seed: int = DEFAULT_SEED,
+) -> float:
+    """Best-of-``rounds`` batch wall time with telemetry disabled.
+
+    This is the quantity the overhead contract bounds: the instrumented
+    solver, with recording off, on a quiet machine.
+    """
+    from repro.core import appro_multi
+
+    was_enabled = obs.enabled()
+    obs.disable()
+    try:
+        network, batch = _batch(requests, seed)
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for request in batch:
+                appro_multi(network, request, max_servers=3)
+            best = min(best, time.perf_counter() - start)
+        return best
+    finally:
+        if was_enabled:
+            obs.enable()
+
+
+def run_obs_benchmark(
+    output_path: Optional[str] = "BENCH_obs.json",
+    requests: int = DEFAULT_REQUESTS,
+    rounds: int = DEFAULT_ROUNDS,
+    seed: int = DEFAULT_SEED,
+) -> Dict:
+    """Run both measurement passes and (optionally) write the artifact."""
+    from repro.core import appro_multi
+
+    disabled_seconds = measure_disabled_seconds(requests, rounds, seed)
+
+    # Enabled pass on a fresh network (cold caches, like round 1 above) so
+    # phase totals cover the whole batch including Dijkstra fills.
+    network, batch = _batch(requests, seed)
+    was_enabled = obs.enabled()
+    obs.enable()
+    saved = obs.snapshot()
+    obs.reset()
+    start = time.perf_counter()
+    for request in batch:
+        appro_multi(network, request, max_servers=3)
+    enabled_seconds = time.perf_counter() - start
+    snap = obs.snapshot()
+    obs.reset()
+    obs.merge(saved)  # restore whatever the caller had accumulated
+    if not was_enabled:
+        obs.disable()
+
+    payload = {
+        "topology": TOPOLOGY,
+        "requests": requests,
+        "max_servers": 3,
+        "seed": seed,
+        "rounds": rounds,
+        "timing": "whole batch, seconds; baseline is best-of-rounds",
+        "disabled_baseline_seconds": disabled_seconds,
+        "enabled_seconds": enabled_seconds,
+        "enabled_overhead_ratio": (
+            enabled_seconds / disabled_seconds
+            if disabled_seconds > 0
+            else float("inf")
+        ),
+        "counters": snap["counters"],
+        "phases": snap["timers"],
+    }
+    if output_path:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return payload
+
+
+def render_bench_summary(payload: Dict) -> List[str]:
+    """Human-readable lines for the CLI to print after a bench run."""
+    from repro.obs.export import render_phase_table
+
+    lines = [
+        f"topology: {payload['topology']}  requests: {payload['requests']}"
+        f"  seed: {payload['seed']}",
+        f"disabled baseline: {payload['disabled_baseline_seconds']:.4f}s"
+        f"  (best of {payload['rounds']})",
+        f"enabled run:       {payload['enabled_seconds']:.4f}s"
+        f"  ({payload['enabled_overhead_ratio']:.3f}x baseline)",
+        "",
+        render_phase_table({"timers": payload["phases"]}),
+    ]
+    return lines

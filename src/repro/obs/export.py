@@ -1,0 +1,184 @@
+"""Exporters for metrics snapshots: JSON, Prometheus text, ASCII table.
+
+Three consumers, three formats, one input — the plain-dict payload of
+:meth:`repro.obs.registry.MetricsRegistry.snapshot`:
+
+- :func:`to_json` / :func:`write_json` — the archival format; loads back
+  with ``json.loads`` into exactly the snapshot structure.
+- :func:`to_prometheus` / :func:`write_prometheus` — the scrape format:
+  counters become ``repro_<name>_total``, gauges ``repro_<name>``, and
+  timers a ``summary`` pair ``_seconds_count``/``_seconds_sum`` plus
+  ``_seconds_min``/``_seconds_max`` gauges.  Values print with ``repr`` so
+  they parse back bit-identically (:func:`parse_prometheus` is the
+  round-trip used by the test suite).
+- :func:`render_phase_table` — a terminal phase breakdown in the style of
+  :mod:`repro.analysis.ascii_plot`: one row per span path, indented by
+  nesting depth, with call counts, total/mean seconds, and the share of
+  the parent span's time.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Mapping, Tuple
+
+__all__ = [
+    "parse_prometheus",
+    "render_phase_table",
+    "to_json",
+    "to_prometheus",
+    "write_json",
+    "write_prometheus",
+]
+
+#: Characters Prometheus metric names may not contain.
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: One sample line: ``name value``.
+_SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*) (\S+)$")
+
+
+def _metric_name(name: str, suffix: str = "") -> str:
+    """Map a dotted registry name onto a legal Prometheus metric name."""
+    return "repro_" + _SANITIZE.sub("_", name) + suffix
+
+
+def to_json(snapshot: Mapping[str, Mapping]) -> str:
+    """Serialize a snapshot as stable, human-diffable JSON."""
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+
+
+def write_json(snapshot: Mapping[str, Mapping], path: str) -> None:
+    """Write :func:`to_json` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(snapshot))
+
+
+def to_prometheus(snapshot: Mapping[str, Mapping]) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        value = snapshot["counters"][name]
+        metric = _metric_name(name, "_total")
+        lines.append(f"# HELP {metric} repro counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value!r}")
+    for name in sorted(snapshot.get("gauges", {})):
+        value = snapshot["gauges"][name]
+        metric = _metric_name(name)
+        lines.append(f"# HELP {metric} repro gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value!r}")
+    for name in sorted(snapshot.get("timers", {})):
+        stat = snapshot["timers"][name]
+        metric = _metric_name(name, "_seconds")
+        lines.append(f"# HELP {metric} repro span {name}")
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {stat['count']!r}")
+        lines.append(f"{metric}_sum {stat['total']!r}")
+        lines.append(f"# TYPE {metric}_min gauge")
+        lines.append(f"{metric}_min {stat['min']!r}")
+        lines.append(f"# TYPE {metric}_max gauge")
+        lines.append(f"{metric}_max {stat['max']!r}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(snapshot: Mapping[str, Mapping], path: str) -> None:
+    """Write :func:`to_prometheus` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_prometheus(snapshot))
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse exposition text back into ``{metric_name: value}``.
+
+    Comment/``# TYPE`` lines are skipped; malformed sample lines raise
+    ``ValueError`` — which is what makes this the exporter's validity
+    check, not just its inverse.
+    """
+    values: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"invalid Prometheus sample line: {line!r}")
+        values[match.group(1)] = float(match.group(2))
+    return values
+
+
+def _compact(value: float) -> str:
+    """Short numeric label (mirrors ``analysis.ascii_plot._compact``)."""
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def _phase_rows(
+    timers: Mapping[str, Mapping[str, float]],
+) -> List[Tuple[str, int, Mapping[str, float], float]]:
+    """Depth-first rows ``(path, depth, stat, share-of-parent %)``."""
+    paths = sorted(timers)
+    rows: List[Tuple[str, int, Mapping[str, float], float]] = []
+
+    def walk(prefix: str, depth: int, parent_total: float) -> None:
+        for path in paths:
+            head, _, tail = path.rpartition(".")
+            if head != prefix:
+                continue
+            stat = timers[path]
+            share = (
+                100.0 * stat["total"] / parent_total
+                if parent_total > 0
+                else 100.0
+            )
+            rows.append((tail or path, depth, stat, share))
+            walk(path, depth + 1, stat["total"])
+
+    walk("", 0, sum(
+        stat["total"] for path, stat in timers.items() if "." not in path
+    ))
+    return rows
+
+
+def render_phase_table(snapshot: Mapping[str, Mapping]) -> str:
+    """Render the span hierarchy as an aligned ASCII phase table.
+
+    Child spans indent under their parent; the ``%`` column is each span's
+    share of its parent's total (top-level spans share 100% between them).
+    """
+    timers = snapshot.get("timers", {})
+    if not timers:
+        return "phase breakdown: (no spans recorded)"
+    rows = _phase_rows(timers)
+    header = ("phase", "calls", "total s", "mean s", "%")
+    body = [
+        (
+            "  " * depth + name,
+            _compact(stat["count"]),
+            f"{stat['total']:.4f}",
+            f"{stat['total'] / stat['count']:.6f}" if stat["count"] else "0",
+            f"{share:.1f}",
+        )
+        for name, depth, stat, share in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in body))
+        for i in range(len(header))
+    ]
+    lines = ["phase breakdown (wall seconds):"]
+    lines.append(
+        "  "
+        + header[0].ljust(widths[0])
+        + "".join("  " + header[i].rjust(widths[i]) for i in range(1, 5))
+    )
+    lines.append("  " + "-" * (sum(widths) + 2 * 4))
+    for row in body:
+        lines.append(
+            "  "
+            + row[0].ljust(widths[0])
+            + "".join("  " + row[i].rjust(widths[i]) for i in range(1, 5))
+        )
+    return "\n".join(lines)

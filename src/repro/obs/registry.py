@@ -1,0 +1,319 @@
+"""Process-local metrics: counters, gauges, and nested phase timers.
+
+One :class:`MetricsRegistry` lives per process.  Solver hot paths are
+instrumented with the *module-level* helpers :func:`inc`, :func:`gauge`,
+:func:`observe`, and :func:`span` — never with direct registry access — so
+that the disabled path costs exactly one global-flag test per call and no
+dictionary lookups:
+
+- when telemetry is **disabled** (the default), :func:`span` returns a
+  shared :data:`NULL_SPAN` singleton whose ``__enter__``/``__exit__`` do
+  nothing, and :func:`inc`/:func:`gauge`/:func:`observe` return after a
+  single ``if not _ENABLED`` check;
+- when **enabled**, counters land in plain dicts and spans record wall
+  time under a dotted path built from the enclosing span stack, e.g.
+  ``appro_multi.evaluate.kmb.prune`` — the nesting the phase table renders.
+
+The registry is deliberately *not* thread-safe: solver runs are sequential
+within a process, and cross-process aggregation goes through
+:meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.merge` (see
+:mod:`repro.simulation.parallel`, which ships worker snapshots back to the
+parent so ``--workers N`` reports the same totals as a serial run).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "TimerStat",
+    "counters",
+    "counters_since",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "inc",
+    "merge",
+    "observe",
+    "registry",
+    "reset",
+    "snapshot",
+    "span",
+]
+
+
+class TimerStat:
+    """Aggregate of one timer/histogram series: count, total, min, max."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the aggregate."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict form for snapshots and JSON export."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TimerStat(count={self.count}, total={self.total:.6f}, "
+            f"min={self.min if self.count else 0.0:.6f}, max={self.max:.6f})"
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+#: The singleton returned by :func:`span` while telemetry is disabled.
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A timed phase; nests by joining names with ``.`` along the stack.
+
+    Entering pushes the dotted path onto the owning registry's span stack;
+    exiting pops it and records the elapsed wall time under that path.
+    Exceptions propagate (the duration is still recorded), so a span is
+    safe around code that may raise ``InfeasibleRequestError`` and friends.
+    """
+
+    __slots__ = ("_registry", "name", "path", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self.name = name
+        self.path = name
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = self._registry._span_stack
+        self.path = f"{stack[-1]}.{self.name}" if stack else self.name
+        stack.append(self.path)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = time.perf_counter() - self._start
+        self._registry._span_stack.pop()
+        self._registry.observe(self.path, elapsed)
+        return False
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and timers with snapshot/merge support.
+
+    Counters are monotone floats (merge = add); gauges are level samples
+    (merge = overwrite with the incoming value); timers aggregate span
+    durations (merge = combine count/total/min/max).  The merge rules keep
+    parent-merged worker snapshots additive, which is what makes the
+    parallel runner's totals equal to a serial run's.
+    """
+
+    __slots__ = ("counters", "gauges", "timers", "_span_stack")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.timers: Dict[str, TimerStat] = {}
+        self._span_stack: List[str] = []
+
+    # -- recording ------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at 0)."""
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one duration/sample into timer ``name``."""
+        stat = self.timers.get(name)
+        if stat is None:
+            stat = TimerStat()
+            self.timers[name] = stat
+        stat.add(value)
+
+    def span(self, name: str) -> Span:
+        """Return a context manager timing one (possibly nested) phase."""
+        return Span(self, name)
+
+    # -- aggregation ----------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict]:
+        """Return a picklable plain-dict copy of the current state."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "timers": {
+                name: stat.as_dict() for name, stat in self.timers.items()
+            },
+        }
+
+    def merge(self, snap: Mapping[str, Mapping]) -> None:
+        """Fold a :meth:`snapshot` payload into this registry.
+
+        Counters add, gauges overwrite, timers combine — so merging the
+        per-point snapshots of a worker pool reproduces the counters a
+        serial run would have accumulated in place.
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0.0) + value
+        for name, value in snap.get("gauges", {}).items():
+            self.gauges[name] = value
+        for name, data in snap.get("timers", {}).items():
+            stat = self.timers.get(name)
+            if stat is None:
+                stat = TimerStat()
+                self.timers[name] = stat
+            count = int(data.get("count", 0))
+            if not count:
+                continue
+            stat.count += count
+            stat.total += data["total"]
+            if data["min"] < stat.min:
+                stat.min = data["min"]
+            if data["max"] > stat.max:
+                stat.max = data["max"]
+
+    def clear(self) -> None:
+        """Drop every metric (the span stack survives: clears mid-span are
+        allowed and currently open spans still record on exit)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.timers.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, timers={len(self.timers)})"
+        )
+
+
+#: The process-local registry all module-level helpers write to.
+_REGISTRY = MetricsRegistry()
+
+#: Global enable flag — the *only* state the disabled hot path reads.
+_ENABLED = False
+
+
+def enable() -> None:
+    """Turn telemetry recording on for this process."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn telemetry recording off (the near-zero-cost default)."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def enabled() -> bool:
+    """Whether telemetry is currently recording."""
+    return _ENABLED
+
+
+def registry() -> MetricsRegistry:
+    """The process-local registry (for tests and exporters)."""
+    return _REGISTRY
+
+
+def span(name: str):
+    """Time a phase: ``with span("kmb"): ...`` — no-op when disabled."""
+    if not _ENABLED:
+        return NULL_SPAN
+    return Span(_REGISTRY, name)
+
+
+def inc(name: str, amount: float = 1.0) -> None:
+    """Bump a counter — no-op when disabled."""
+    if not _ENABLED:
+        return
+    counters = _REGISTRY.counters
+    counters[name] = counters.get(name, 0.0) + amount
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge — no-op when disabled."""
+    if not _ENABLED:
+        return
+    _REGISTRY.gauges[name] = value
+
+
+def observe(name: str, value: float) -> None:
+    """Record one timer observation — no-op when disabled."""
+    if not _ENABLED:
+        return
+    _REGISTRY.observe(name, value)
+
+
+def snapshot() -> Dict[str, Dict]:
+    """Snapshot the process-local registry."""
+    return _REGISTRY.snapshot()
+
+
+def merge(snap: Mapping[str, Mapping]) -> None:
+    """Merge a worker snapshot into the process-local registry."""
+    _REGISTRY.merge(snap)
+
+
+def reset() -> None:
+    """Clear the process-local registry."""
+    _REGISTRY.clear()
+
+
+def counters() -> Dict[str, float]:
+    """A copy of the current counter values."""
+    return dict(_REGISTRY.counters)
+
+
+def counters_since(before: Optional[Mapping[str, float]]) -> Dict[str, float]:
+    """Counter deltas accumulated since a :func:`counters` baseline.
+
+    Returns only the counters that changed; with ``before=None`` (telemetry
+    was disabled when the baseline would have been taken) returns ``{}``.
+    """
+    if before is None:
+        return {}
+    delta: Dict[str, float] = {}
+    for name, value in _REGISTRY.counters.items():
+        changed = value - before.get(name, 0.0)
+        if changed:
+            delta[name] = changed
+    return delta

@@ -12,7 +12,13 @@ from repro.simulation.parallel import (
     parallel_map,
     set_default_workers,
 )
-from repro.simulation.trace import TraceEvent, TraceRecorder, record_online_run
+from repro.simulation.trace import (
+    NULL_RECORDER,
+    NullTraceRecorder,
+    TraceEvent,
+    TraceRecorder,
+    record_online_run,
+)
 
 __all__ = [
     "run_offline",
@@ -24,6 +30,8 @@ __all__ = [
     "set_default_workers",
     "OfflineRunStats",
     "OnlineRunStats",
+    "NULL_RECORDER",
+    "NullTraceRecorder",
     "TraceEvent",
     "TraceRecorder",
     "record_online_run",

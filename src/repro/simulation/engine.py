@@ -23,6 +23,13 @@ from repro.core.pseudo_tree import PseudoMulticastTree
 from repro.exceptions import InfeasibleRequestError
 from repro.network.controller import Controller, TableCapacityExceededError
 from repro.network.sdn import SDNetwork
+from repro.obs import (
+    counters as _obs_counters,
+    counters_since as _obs_counters_since,
+    enabled as _obs_enabled,
+    inc as _obs_inc,
+    span as _obs_span,
+)
 from repro.simulation.metrics import OfflineRunStats, OnlineRunStats
 from repro.workload.arrivals import EventKind, RequestEvent
 from repro.workload.request import MulticastRequest
@@ -71,19 +78,25 @@ def run_offline(
     admitting each request on an otherwise idle network.
     """
     stats = OfflineRunStats()
-    for request in requests:
-        started = time.perf_counter()
-        try:
-            tree = solver(network, request)
-        except InfeasibleRequestError:
-            stats.infeasible += 1
-            continue
-        finally:
-            elapsed = time.perf_counter() - started
-        stats.solved += 1
-        stats.runtimes.append(elapsed)
-        stats.costs.append(tree.total_cost)
-        stats.servers_used.append(tree.num_servers)
+    before = _obs_counters() if _obs_enabled() else None
+    with _obs_span("run_offline"):
+        for request in requests:
+            _obs_inc("engine.requests")
+            started = time.perf_counter()
+            try:
+                tree = solver(network, request)
+            except InfeasibleRequestError:
+                stats.infeasible += 1
+                _obs_inc("engine.infeasible")
+                continue
+            finally:
+                elapsed = time.perf_counter() - started
+            stats.solved += 1
+            _obs_inc("engine.solved")
+            stats.runtimes.append(elapsed)
+            stats.costs.append(tree.total_cost)
+            stats.servers_used.append(tree.num_servers)
+    stats.telemetry = _obs_counters_since(before)
     return stats
 
 
@@ -100,35 +113,43 @@ def run_sequential_capacitated(
     which the pruned network is infeasible) counts as infeasible.
     """
     stats = OfflineRunStats()
-    for request in requests:
-        started = time.perf_counter()
-        try:
-            tree = solver(network, request)
-        except InfeasibleRequestError:
-            stats.infeasible += 1
-            stats.runtimes.append(time.perf_counter() - started)
-            continue
-        elapsed = time.perf_counter() - started
-        transaction = try_allocate(network, tree)
-        if transaction is None:
-            stats.infeasible += 1
-            stats.runtimes.append(elapsed)
-            continue
-        if controller is not None:
+    before = _obs_counters() if _obs_enabled() else None
+    with _obs_span("run_sequential_capacitated"):
+        for request in requests:
+            _obs_inc("engine.requests")
+            started = time.perf_counter()
             try:
-                controller.install_tree(
-                    request.request_id, tree.routing_hops(),
-                    list(tree.servers),
-                )
-            except TableCapacityExceededError:
-                transaction.release_all()
+                tree = solver(network, request)
+            except InfeasibleRequestError:
                 stats.infeasible += 1
+                _obs_inc("engine.infeasible")
+                stats.runtimes.append(time.perf_counter() - started)
+                continue
+            elapsed = time.perf_counter() - started
+            transaction = try_allocate(network, tree)
+            if transaction is None:
+                stats.infeasible += 1
+                _obs_inc("engine.infeasible")
                 stats.runtimes.append(elapsed)
                 continue
-        stats.solved += 1
-        stats.runtimes.append(elapsed)
-        stats.costs.append(tree.total_cost)
-        stats.servers_used.append(tree.num_servers)
+            if controller is not None:
+                try:
+                    controller.install_tree(
+                        request.request_id, tree.routing_hops(),
+                        list(tree.servers),
+                    )
+                except TableCapacityExceededError:
+                    transaction.release_all()
+                    stats.infeasible += 1
+                    _obs_inc("engine.infeasible")
+                    stats.runtimes.append(elapsed)
+                    continue
+            stats.solved += 1
+            _obs_inc("engine.solved")
+            stats.runtimes.append(elapsed)
+            stats.costs.append(tree.total_cost)
+            stats.servers_used.append(tree.num_servers)
+    stats.telemetry = _obs_counters_since(before)
     return stats
 
 
@@ -140,22 +161,25 @@ def run_online(
     """Drive an online algorithm over an arrival-only request sequence."""
     stats = OnlineRunStats()
     network = algorithm.network
+    before = _obs_counters() if _obs_enabled() else None
     started = time.perf_counter()
-    for request in requests:
-        decision = algorithm.process(request)
-        if decision.admitted and controller is not None:
-            _install_admitted(algorithm, controller, decision)
-        if decision.admitted:
-            assert decision.tree is not None
-            stats.admitted += 1
-            stats.operational_costs.append(decision.tree.total_cost)
-        else:
-            stats.rejected += 1
-            stats.record_rejection(decision.reason)
-        stats.admitted_timeline.append(stats.admitted)
+    with _obs_span("run_online"):
+        for request in requests:
+            decision = algorithm.process(request)
+            if decision.admitted and controller is not None:
+                _install_admitted(algorithm, controller, decision)
+            if decision.admitted:
+                assert decision.tree is not None
+                stats.admitted += 1
+                stats.operational_costs.append(decision.tree.total_cost)
+            else:
+                stats.rejected += 1
+                stats.record_rejection(decision.reason)
+            stats.admitted_timeline.append(stats.admitted)
     stats.total_runtime = time.perf_counter() - started
     stats.final_link_utilization = network.mean_link_utilization()
     stats.final_server_utilization = network.mean_server_utilization()
+    stats.telemetry = _obs_counters_since(before)
     return stats
 
 
@@ -172,29 +196,33 @@ def run_online_with_departures(
     stats = OnlineRunStats()
     network = algorithm.network
     admitted_ids = set()
+    before = _obs_counters() if _obs_enabled() else None
     started = time.perf_counter()
-    for event in events:
-        request = event.request
-        if event.kind is EventKind.ARRIVAL:
-            decision = algorithm.process(request)
-            if decision.admitted and controller is not None:
-                _install_admitted(algorithm, controller, decision)
-            if decision.admitted:
-                assert decision.tree is not None
-                admitted_ids.add(request.request_id)
-                stats.admitted += 1
-                stats.operational_costs.append(decision.tree.total_cost)
+    with _obs_span("run_online_with_departures"):
+        for event in events:
+            request = event.request
+            if event.kind is EventKind.ARRIVAL:
+                decision = algorithm.process(request)
+                if decision.admitted and controller is not None:
+                    _install_admitted(algorithm, controller, decision)
+                if decision.admitted:
+                    assert decision.tree is not None
+                    admitted_ids.add(request.request_id)
+                    stats.admitted += 1
+                    stats.operational_costs.append(decision.tree.total_cost)
+                else:
+                    stats.rejected += 1
+                    stats.record_rejection(decision.reason)
+                stats.admitted_timeline.append(stats.admitted)
             else:
-                stats.rejected += 1
-                stats.record_rejection(decision.reason)
-            stats.admitted_timeline.append(stats.admitted)
-        else:
-            if request.request_id in admitted_ids:
-                algorithm.depart(request.request_id)
-                admitted_ids.discard(request.request_id)
-                if controller is not None:
-                    controller.uninstall(request.request_id)
+                if request.request_id in admitted_ids:
+                    _obs_inc("engine.departures")
+                    algorithm.depart(request.request_id)
+                    admitted_ids.discard(request.request_id)
+                    if controller is not None:
+                        controller.uninstall(request.request_id)
     stats.total_runtime = time.perf_counter() - started
     stats.final_link_utilization = network.mean_link_utilization()
     stats.final_server_utilization = network.mean_server_utilization()
+    stats.telemetry = _obs_counters_since(before)
     return stats

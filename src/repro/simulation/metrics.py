@@ -19,6 +19,9 @@ class OfflineRunStats:
         costs: per-request operational cost of the returned tree.
         runtimes: per-request wall-clock solve time in seconds.
         servers_used: per-request number of servers in the returned tree.
+        telemetry: counter deltas accumulated during this run (empty when
+            :mod:`repro.obs` recording is disabled) — solver invocations,
+            cache hits/misses, KMB calls, and friends.
     """
 
     solved: int = 0
@@ -26,6 +29,7 @@ class OfflineRunStats:
     costs: List[float] = field(default_factory=list)
     runtimes: List[float] = field(default_factory=list)
     servers_used: List[int] = field(default_factory=list)
+    telemetry: Dict[str, float] = field(default_factory=dict)
 
     @property
     def mean_cost(self) -> float:
@@ -64,6 +68,8 @@ class OnlineRunStats:
         total_runtime: wall-clock seconds spent deciding.
         final_link_utilization: mean link utilization at the end of the run.
         final_server_utilization: mean server utilization at the end.
+        telemetry: counter deltas accumulated during this run (empty when
+            :mod:`repro.obs` recording is disabled).
     """
 
     admitted: int = 0
@@ -74,6 +80,7 @@ class OnlineRunStats:
     total_runtime: float = 0.0
     final_link_utilization: float = 0.0
     final_server_utilization: float = 0.0
+    telemetry: Dict[str, float] = field(default_factory=dict)
 
     @property
     def processed(self) -> int:

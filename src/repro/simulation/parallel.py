@@ -23,13 +23,28 @@ If the pool itself fails (a sandbox without working semaphores, a worker
 killed by the OOM killer), the runner falls back to serial execution rather
 than losing the experiment; genuine exceptions *raised by the point
 function* are re-raised unchanged.
+
+Telemetry crosses the process boundary too: when :mod:`repro.obs`
+recording is enabled in the parent, every pool task runs with a fresh
+worker-local registry, snapshots it into the returned payload, and the
+parent merges the snapshots *in submission order* — so ``--workers N``
+reports exactly the counter totals a serial run accumulates in place (the
+merge rules in :meth:`repro.obs.MetricsRegistry.merge` are additive for
+counters and timers).  With recording disabled, the pool path is untouched
+and pays nothing.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from functools import partial
 from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.obs import enable as _obs_enable, enabled as _obs_enabled
+from repro.obs import merge as _obs_merge
+from repro.obs import registry as _obs_registry
+from repro.obs import snapshot as _obs_snapshot
 
 __all__ = [
     "default_workers",
@@ -74,6 +89,20 @@ def _serial_map(
     return [func(*args) for args in grid]
 
 
+def _instrumented_point(func: Callable[..., Any], args: Tuple) -> Tuple:
+    """Pool task wrapper: run one point with a clean worker registry.
+
+    Enables recording (workers spawned without fork would otherwise start
+    disabled), clears whatever a previous point on this worker process
+    accumulated, and ships the point's own counters/timers back alongside
+    its result so the parent can merge deltas additively.
+    """
+    _obs_enable()
+    _obs_registry().clear()
+    result = func(*args)
+    return result, _obs_snapshot()
+
+
 def parallel_map(
     func: Callable[..., Any],
     grid: Sequence[Tuple],
@@ -100,6 +129,18 @@ def parallel_map(
     count = min(count, len(grid))
     if count <= 1:
         return _serial_map(func, grid)
+    if _obs_enabled():
+        try:
+            with ProcessPoolExecutor(max_workers=count) as pool:
+                pairs = list(pool.map(partial(_instrumented_point, func), grid))
+        except (BrokenExecutor, OSError, PermissionError):
+            # Serial fallback records directly into the live registry.
+            return _serial_map(func, grid)
+        results = []
+        for result, snap in pairs:
+            _obs_merge(snap)
+            results.append(result)
+        return results
     try:
         with ProcessPoolExecutor(max_workers=count) as pool:
             return list(pool.map(func, *zip(*grid)))

@@ -5,15 +5,29 @@ sequence.  A :class:`TraceRecorder` passed to :func:`record_online_run`
 captures, per request: the decision, rejection reason, selected servers,
 operational cost, and network utilization *at that instant* — everything a
 notebook needs to reconstruct an admission race without re-running it.
+
+Recording is optional-cost: :class:`NullTraceRecorder` shares the recorder
+interface but records nothing (and, crucially, never reads the network's
+utilization — the expensive part of a real event), so callers that only
+want the run statistics pass ``recorder=None`` and the run loop still
+calls ``recorder.record(...)`` unconditionally, with no per-decision
+branching anywhere.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import asdict, dataclass
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence, Union
 
 from repro.core.online_base import OnlineAlgorithm, OnlineDecision
+from repro.obs import (
+    counters as _obs_counters,
+    counters_since as _obs_counters_since,
+    enabled as _obs_enabled,
+    span as _obs_span,
+)
 from repro.simulation.metrics import OnlineRunStats
 from repro.workload.request import MulticastRequest
 
@@ -119,33 +133,104 @@ class TraceRecorder:
                 handle.write("\n")
 
 
+class NullTraceRecorder:
+    """A recorder that records nothing, at no cost.
+
+    Interface-compatible with :class:`TraceRecorder`, so run loops call
+    ``recorder.record(...)`` unconditionally; this variant returns
+    immediately without building an event or touching the network's
+    utilization aggregates.  A single shared instance
+    (:data:`NULL_RECORDER`) serves every untraced run — it holds no state.
+    """
+
+    __slots__ = ()
+
+    def record(
+        self, algorithm: OnlineAlgorithm, decision: OnlineDecision
+    ) -> None:
+        """Discard the decision (interface parity with TraceRecorder)."""
+        return None
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Always empty."""
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def admitted_events(self) -> List[TraceEvent]:
+        """Always empty."""
+        return []
+
+    def rejection_histogram(self) -> Dict[str, int]:
+        """Always empty."""
+        return {}
+
+    def utilization_series(self) -> List[float]:
+        """Always empty."""
+        return []
+
+    def to_jsonl(self) -> str:
+        """The empty trace."""
+        return ""
+
+    def write_jsonl(self, path: str) -> None:
+        """Write an empty trace file (keeps downstream tooling uniform)."""
+        with open(path, "w", encoding="utf-8"):
+            pass
+
+
+#: Shared stateless instance used whenever tracing is switched off.
+NULL_RECORDER = NullTraceRecorder()
+
+#: Any object honouring the recorder interface.
+TraceRecorderLike = Union[TraceRecorder, NullTraceRecorder]
+
+#: Distinguishes "no argument" (record a full trace, the historical
+#: default) from an explicit ``recorder=None`` (trace nothing).
+_DEFAULT_RECORDER = object()
+
+
 def record_online_run(
     algorithm: OnlineAlgorithm,
     requests: Sequence[MulticastRequest],
-    recorder: Optional[TraceRecorder] = None,
+    recorder=_DEFAULT_RECORDER,
 ) -> tuple:
     """Like :func:`repro.simulation.run_online`, but with a full trace.
 
+    Args:
+        algorithm: the online algorithm to drive.
+        requests: the arrival sequence.
+        recorder: a :class:`TraceRecorder` to append to; omitted, a fresh
+            one is created.  Pass ``None`` to disable tracing — the run
+            then uses the shared :data:`NULL_RECORDER` and skips all
+            per-event snapshot work without any per-decision branching.
+
     Returns ``(stats, recorder)``.
     """
-    import time
-
-    recorder = recorder if recorder is not None else TraceRecorder()
+    if recorder is _DEFAULT_RECORDER:
+        recorder = TraceRecorder()
+    elif recorder is None:
+        recorder = NULL_RECORDER
     stats = OnlineRunStats()
+    before = _obs_counters() if _obs_enabled() else None
     started = time.perf_counter()
-    for request in requests:
-        decision = algorithm.process(request)
-        recorder.record(algorithm, decision)
-        if decision.admitted:
-            assert decision.tree is not None
-            stats.admitted += 1
-            stats.operational_costs.append(decision.tree.total_cost)
-        else:
-            stats.rejected += 1
-            stats.record_rejection(decision.reason)
-        stats.admitted_timeline.append(stats.admitted)
+    with _obs_span("record_online_run"):
+        for request in requests:
+            decision = algorithm.process(request)
+            recorder.record(algorithm, decision)
+            if decision.admitted:
+                assert decision.tree is not None
+                stats.admitted += 1
+                stats.operational_costs.append(decision.tree.total_cost)
+            else:
+                stats.rejected += 1
+                stats.record_rejection(decision.reason)
+            stats.admitted_timeline.append(stats.admitted)
     stats.total_runtime = time.perf_counter() - started
     network = algorithm.network
     stats.final_link_utilization = network.mean_link_utilization()
     stats.final_server_utilization = network.mean_server_utilization()
+    stats.telemetry = _obs_counters_since(before)
     return stats, recorder

@@ -13,6 +13,27 @@ from repro.topology import gt_itm_flat, waxman_graph
 from repro.workload import MulticastRequest, generate_workload
 
 
+@pytest.fixture(autouse=True)
+def _isolate_telemetry_state():
+    """Telemetry enablement must not leak between tests.
+
+    Tests that call ``repro.cli.main`` (or enable :mod:`repro.obs`
+    directly) flip a process-global flag; this restores it — and the
+    recorded metrics — so unrelated tests keep the disabled default.
+    """
+    from repro import obs
+
+    was_enabled = obs.enabled()
+    saved = obs.snapshot()
+    yield
+    obs.reset()
+    obs.merge(saved)
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()
+
+
 @pytest.fixture
 def triangle() -> Graph:
     """A weighted triangle: a-b (1), b-c (2), a-c (4)."""

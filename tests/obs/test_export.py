@@ -1,0 +1,124 @@
+"""Unit tests for the snapshot exporters: JSON, Prometheus, phase table."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    parse_prometheus,
+    render_phase_table,
+    to_json,
+    to_prometheus,
+    write_json,
+    write_prometheus,
+)
+
+
+@pytest.fixture
+def snapshot():
+    return {
+        "counters": {
+            "appro_multi.invocations": 48.0,
+            "spcache.hits": 533.0,
+        },
+        "gauges": {"network.load": 0.375},
+        "timers": {
+            "run": {"count": 2, "total": 1.5, "min": 0.5, "max": 1.0},
+            "run.kmb": {
+                "count": 10,
+                "total": 0.75,
+                "min": 0.05,
+                "max": 0.125,
+            },
+            "run.kmb.prune": {
+                "count": 10,
+                "total": 0.25,
+                "min": 0.01,
+                "max": 0.05,
+            },
+        },
+    }
+
+
+class TestJson:
+    def test_round_trip(self, snapshot):
+        assert json.loads(to_json(snapshot)) == snapshot
+
+    def test_stable_key_order(self, snapshot):
+        assert to_json(snapshot) == to_json(dict(reversed(snapshot.items())))
+
+    def test_write(self, snapshot, tmp_path):
+        target = tmp_path / "metrics.json"
+        write_json(snapshot, str(target))
+        assert json.loads(target.read_text()) == snapshot
+
+
+class TestPrometheus:
+    def test_text_is_valid_exposition(self, snapshot):
+        # parse_prometheus raises ValueError on any malformed sample line
+        parsed = parse_prometheus(to_prometheus(snapshot))
+        assert parsed
+
+    def test_counter_values_round_trip_bit_exact(self, snapshot):
+        parsed = parse_prometheus(to_prometheus(snapshot))
+        assert (
+            parsed["repro_appro_multi_invocations_total"]
+            == snapshot["counters"]["appro_multi.invocations"]
+        )
+        assert parsed["repro_spcache_hits_total"] == 533.0
+
+    def test_gauge_and_summary_samples(self, snapshot):
+        parsed = parse_prometheus(to_prometheus(snapshot))
+        assert parsed["repro_network_load"] == 0.375
+        assert parsed["repro_run_kmb_seconds_count"] == 10
+        assert parsed["repro_run_kmb_seconds_sum"] == 0.75
+        assert parsed["repro_run_kmb_seconds_min"] == 0.05
+        assert parsed["repro_run_kmb_seconds_max"] == 0.125
+
+    def test_type_and_help_lines_present(self, snapshot):
+        text = to_prometheus(snapshot)
+        assert "# TYPE repro_spcache_hits_total counter" in text
+        assert "# TYPE repro_network_load gauge" in text
+        assert "# TYPE repro_run_seconds summary" in text
+        assert "# HELP repro_spcache_hits_total" in text
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not a sample line at all!\n")
+
+    def test_write(self, snapshot, tmp_path):
+        target = tmp_path / "metrics.prom"
+        write_prometheus(snapshot, str(target))
+        assert parse_prometheus(target.read_text())
+
+
+class TestPhaseTable:
+    def test_rows_indent_by_nesting_depth(self, snapshot):
+        table = render_phase_table(snapshot)
+        lines = table.splitlines()
+        assert any(line.lstrip().startswith("run ") for line in lines)
+        run_line = next(i for i, l in enumerate(lines) if "run " in l)
+        kmb_line = next(i for i, l in enumerate(lines) if " kmb " in l)
+        prune_line = next(i for i, l in enumerate(lines) if "prune" in l)
+        assert run_line < kmb_line < prune_line
+        indent = [
+            len(lines[i]) - len(lines[i].lstrip())
+            for i in (run_line, kmb_line, prune_line)
+        ]
+        assert indent[0] < indent[1] < indent[2]
+
+    def test_share_of_parent(self, snapshot):
+        table = render_phase_table(snapshot)
+        # run is the only top-level span (100.0%); kmb is half of run,
+        # prune is a third of kmb
+        assert "100.0" in table
+        assert "50.0" in table
+        assert "33.3" in table
+
+    def test_call_counts_and_totals_appear(self, snapshot):
+        table = render_phase_table(snapshot)
+        assert "1.5000" in table
+        assert "0.7500" in table
+
+    def test_empty_snapshot(self):
+        assert "no spans" in render_phase_table({"timers": {}})

@@ -1,0 +1,204 @@
+"""Unit tests for the metrics registry: spans, timer math, merge rules."""
+
+import pytest
+
+from repro import obs
+from repro.obs import NULL_SPAN, MetricsRegistry, TimerStat
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Each test starts disabled with an empty registry and leaves no trace."""
+    was_enabled = obs.enabled()
+    saved = obs.snapshot()
+    obs.disable()
+    obs.reset()
+    yield
+    obs.reset()
+    obs.merge(saved)
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()
+
+
+class TestEnableDisable:
+    def test_disabled_by_default_in_tests(self):
+        assert not obs.enabled()
+
+    def test_disabled_helpers_record_nothing(self):
+        obs.inc("c")
+        obs.gauge("g", 4.0)
+        obs.observe("t", 0.5)
+        snap = obs.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "timers": {}}
+
+    def test_disabled_span_is_the_shared_singleton(self):
+        assert obs.span("anything") is NULL_SPAN
+        assert obs.span("other") is NULL_SPAN
+        with obs.span("anything"):
+            pass
+        assert obs.snapshot()["timers"] == {}
+
+    def test_enable_round_trip(self):
+        obs.enable()
+        assert obs.enabled()
+        obs.inc("c")
+        assert obs.counters() == {"c": 1.0}
+        obs.disable()
+        obs.inc("c")
+        assert obs.counters() == {"c": 1.0}
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        obs.enable()
+        obs.inc("solver.calls")
+        obs.inc("solver.calls", 2.5)
+        assert obs.counters() == {"solver.calls": 3.5}
+
+    def test_gauge_overwrites(self):
+        obs.enable()
+        obs.gauge("load", 0.2)
+        obs.gauge("load", 0.7)
+        assert obs.snapshot()["gauges"] == {"load": 0.7}
+
+    def test_counters_since_returns_only_deltas(self):
+        obs.enable()
+        obs.inc("a", 2.0)
+        obs.inc("b", 1.0)
+        before = obs.counters()
+        obs.inc("a", 3.0)
+        obs.inc("c")
+        assert obs.counters_since(before) == {"a": 3.0, "c": 1.0}
+
+    def test_counters_since_none_baseline(self):
+        obs.enable()
+        obs.inc("a")
+        assert obs.counters_since(None) == {}
+
+
+class TestTimerStat:
+    def test_math(self):
+        stat = TimerStat()
+        for value in (0.5, 0.1, 0.4):
+            stat.add(value)
+        assert stat.count == 3
+        assert stat.total == pytest.approx(1.0)
+        assert stat.min == pytest.approx(0.1)
+        assert stat.max == pytest.approx(0.5)
+        assert stat.mean == pytest.approx(1.0 / 3.0)
+
+    def test_empty_as_dict_has_zero_min(self):
+        assert TimerStat().as_dict() == {
+            "count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+        }
+
+
+class TestSpans:
+    def test_nesting_builds_dotted_paths(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                with obs.span("leaf"):
+                    pass
+            with obs.span("inner"):
+                pass
+        timers = obs.snapshot()["timers"]
+        assert set(timers) == {"outer", "outer.inner", "outer.inner.leaf"}
+        assert timers["outer"]["count"] == 1
+        assert timers["outer.inner"]["count"] == 2
+        assert timers["outer.inner.leaf"]["count"] == 1
+
+    def test_sibling_spans_share_a_parent_prefix(self):
+        obs.enable()
+        with obs.span("run"):
+            with obs.span("build"):
+                pass
+            with obs.span("solve"):
+                pass
+        assert set(obs.snapshot()["timers"]) == {
+            "run", "run.build", "run.solve",
+        }
+
+    def test_parent_time_covers_child_time(self):
+        obs.enable()
+        with obs.span("parent"):
+            with obs.span("child"):
+                sum(range(1000))
+        timers = obs.snapshot()["timers"]
+        assert timers["parent"]["total"] >= timers["parent.child"]["total"]
+        assert timers["parent.child"]["total"] > 0.0
+
+    def test_span_records_even_when_body_raises(self):
+        obs.enable()
+        with pytest.raises(RuntimeError):
+            with obs.span("risky"):
+                raise RuntimeError("boom")
+        timers = obs.snapshot()["timers"]
+        assert timers["risky"]["count"] == 1
+        # the stack unwound: a new top-level span is not nested under it
+        with obs.span("after"):
+            pass
+        assert "after" in obs.snapshot()["timers"]
+
+
+class TestSnapshotMerge:
+    def test_merge_adds_counters_overwrites_gauges(self):
+        first = MetricsRegistry()
+        first.inc("calls", 2.0)
+        first.gauge("load", 0.3)
+        second = MetricsRegistry()
+        second.inc("calls", 3.0)
+        second.inc("other")
+        second.gauge("load", 0.9)
+        first.merge(second.snapshot())
+        assert first.counters == {"calls": 5.0, "other": 1.0}
+        assert first.gauges == {"load": 0.9}
+
+    def test_merge_combines_timer_aggregates(self):
+        first = MetricsRegistry()
+        first.observe("kmb", 0.2)
+        first.observe("kmb", 0.6)
+        second = MetricsRegistry()
+        second.observe("kmb", 0.1)
+        first.merge(second.snapshot())
+        stat = first.timers["kmb"]
+        assert stat.count == 3
+        assert stat.total == pytest.approx(0.9)
+        assert stat.min == pytest.approx(0.1)
+        assert stat.max == pytest.approx(0.6)
+
+    def test_merge_skips_empty_timers(self):
+        target = MetricsRegistry()
+        target.merge({"timers": {"idle": TimerStat().as_dict()}})
+        assert target.timers["idle"].count == 0
+        assert target.timers["idle"].min == float("inf")
+
+    def test_merge_order_independence_for_counters(self):
+        snaps = []
+        for amount in (1.0, 2.0, 4.0):
+            reg = MetricsRegistry()
+            reg.inc("calls", amount)
+            snaps.append(reg.snapshot())
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in snaps:
+            forward.merge(snap)
+        for snap in reversed(snaps):
+            backward.merge(snap)
+        assert forward.counters == backward.counters == {"calls": 7.0}
+
+    def test_snapshot_is_a_deep_copy_of_state(self):
+        obs.enable()
+        obs.inc("calls")
+        snap = obs.snapshot()
+        obs.inc("calls")
+        assert snap["counters"] == {"calls": 1.0}
+
+    def test_reset_clears_everything(self):
+        obs.enable()
+        obs.inc("calls")
+        obs.gauge("load", 1.0)
+        obs.observe("kmb", 0.1)
+        obs.reset()
+        assert obs.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}

@@ -7,6 +7,8 @@ import pytest
 from repro.core import OnlineCP, SPOnline
 from repro.network import build_sdn
 from repro.simulation import (
+    NULL_RECORDER,
+    NullTraceRecorder,
     TraceRecorder,
     record_online_run,
     run_online,
@@ -65,6 +67,50 @@ class TestRecordOnlineRun:
         stats, recorder = record_online_run(SPOnline(network), requests)
         histogram = recorder.rejection_histogram()
         assert sum(histogram.values()) == stats.rejected
+
+
+class TestNullTraceRecorder:
+    def test_explicit_none_uses_shared_null_recorder(self, setup):
+        _, network, requests = setup
+        stats, recorder = record_online_run(
+            SPOnline(network), requests, recorder=None
+        )
+        assert recorder is NULL_RECORDER
+        assert len(recorder) == 0
+        assert stats.processed == len(requests)
+
+    def test_default_still_records_a_full_trace(self, setup):
+        _, network, requests = setup
+        _, recorder = record_online_run(SPOnline(network), requests)
+        assert isinstance(recorder, TraceRecorder)
+        assert len(recorder) == len(requests)
+
+    def test_stats_identical_with_and_without_tracing(self, setup):
+        graph, _, requests = setup
+        traced, _ = record_online_run(
+            SPOnline(build_sdn(graph, seed=61)), requests
+        )
+        untraced, _ = record_online_run(
+            SPOnline(build_sdn(graph, seed=61)), requests, recorder=None
+        )
+        assert untraced.admitted == traced.admitted
+        assert untraced.rejected == traced.rejected
+        assert untraced.admitted_timeline == traced.admitted_timeline
+        assert untraced.operational_costs == traced.operational_costs
+
+    def test_interface_parity(self):
+        recorder = NullTraceRecorder()
+        assert recorder.events == []
+        assert recorder.admitted_events() == []
+        assert recorder.rejection_histogram() == {}
+        assert recorder.utilization_series() == []
+        assert recorder.to_jsonl() == ""
+        assert recorder.record(None, None) is None
+
+    def test_write_jsonl_creates_empty_file(self, tmp_path):
+        target = tmp_path / "null.jsonl"
+        NullTraceRecorder().write_jsonl(str(target))
+        assert target.read_text() == ""
 
 
 class TestSerialization:

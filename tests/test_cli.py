@@ -47,3 +47,51 @@ class TestCli:
         out = capsys.readouterr().out
         # the chart legend with series markers was printed
         assert "o Appro_Multi" in out
+
+    def test_bare_profile_prints_phase_table(self, capsys):
+        assert main(["fig5", "--profile", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        assert "appro_multi" in out
+        assert "kmb" in out
+
+    def test_metrics_out_writes_json_and_prometheus(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import parse_prometheus
+
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "fig5", "--profile", "fast",
+            "--metrics-out", str(metrics),
+            "--workers", "1",
+        ]) == 0
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["appro_multi.invocations"] > 0
+        assert "run_offline" in snap["timers"]
+        prom = tmp_path / "metrics.prom"
+        assert prom.exists()
+        parsed = parse_prometheus(prom.read_text())
+        assert (
+            parsed["repro_appro_multi_invocations_total"]
+            == snap["counters"]["appro_multi.invocations"]
+        )
+        out = capsys.readouterr().out
+        assert f"wrote {metrics}" in out
+        assert f"wrote {prom}" in out
+
+    def test_bench_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "bench.json"
+        assert main([
+            "bench", "--output", str(target),
+            "--requests", "3", "--rounds", "1",
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["topology"] == "GEANT"
+        assert payload["disabled_baseline_seconds"] > 0
+        assert payload["counters"]["appro_multi.invocations"] == 3.0
+        out = capsys.readouterr().out
+        assert "disabled baseline" in out
+        assert "phase breakdown" in out
