@@ -15,6 +15,7 @@ from repro.analysis.fig7 import run_fig7
 from repro.analysis.fig8 import run_fig8
 from repro.analysis.fig9 import run_fig9
 from repro.analysis.profiles import ExperimentProfile
+from repro.analysis.resilience import run_resilience
 from repro.analysis.series import FigureResult, render_table
 from repro.analysis.verdicts import verdicts_markdown, verify_results
 from repro.exceptions import ExperimentError
@@ -29,6 +30,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentProfile], List[FigureResult]]] = {
     "ablations": run_ablations,
     "competitive": run_competitive,
     "fig8ci": run_fig8_ci,
+    "resilience": run_resilience,
 }
 
 #: Paper-vs-expected commentary per experiment (used in EXPERIMENTS.md).
@@ -77,6 +79,12 @@ EXPECTATIONS: Dict[str, str] = {
         "optimum; against a greedy full-lookahead oracle the empirical "
         "ratio should sit far above that worst case (≈0.8–1.0), with SP "
         "noticeably lower under load."
+    ),
+    "resilience": (
+        "Extension: under seeded link failures on GÉANT, subtree grafting "
+        "repairs broken trees at a strictly lower mean cost than full "
+        "readmission, and both repair strategies leave a strictly lower "
+        "disruption ratio than dropping every affected request."
     ),
 }
 

@@ -167,6 +167,42 @@ def _check_competitive(panels: List[FigureResult]):
     )
 
 
+def _check_resilience_cost(panels: List[FigureResult]):
+    cost = next(p for p in panels if p.figure_id == "resilience-cost")
+    names = [str(x) for x in cost.xs]
+    mean_cost = cost.series_by_label("mean_repair_cost").values
+    graft = mean_cost[names.index("graft")]
+    readmit = mean_cost[names.index("readmit")]
+    if not graft < readmit:
+        return False, (
+            f"graft repairs not cheaper: graft={graft:.2f} "
+            f"readmit={readmit:.2f}"
+        )
+    return True, (
+        f"mean repair cost graft={graft:.2f} < readmit={readmit:.2f}"
+    )
+
+
+def _check_resilience_disruption(panels: List[FigureResult]):
+    service = next(
+        p for p in panels if p.figure_id == "resilience-service"
+    )
+    names = [str(x) for x in service.xs]
+    ratio = service.series_by_label("disruption_ratio").values
+    drop = ratio[names.index("drop")]
+    graft = ratio[names.index("graft")]
+    readmit = ratio[names.index("readmit")]
+    if not (graft < drop and readmit < drop):
+        return False, (
+            f"repair did not reduce disruption: drop={drop:.3f} "
+            f"readmit={readmit:.3f} graft={graft:.3f}"
+        )
+    return True, (
+        f"disruption ratio drop={drop:.3f} > readmit={readmit:.3f}, "
+        f"graft={graft:.3f}"
+    )
+
+
 #: (claim id, experiment, human description, checker)
 CLAIMS = [
     ("fig5-cheaper", "fig5",
@@ -202,6 +238,12 @@ CLAIMS = [
     ("thm2-empirical", "competitive",
      "Online_CP sits far above its worst-case competitive guarantee",
      _check_competitive),
+    ("resilience-graft-cheaper", "resilience",
+     "subtree grafting repairs cost less than full readmission",
+     _check_resilience_cost),
+    ("resilience-repair-helps", "resilience",
+     "repairing drops fewer requests than the drop-affected baseline",
+     _check_resilience_disruption),
 ]
 
 

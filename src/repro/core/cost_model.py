@@ -55,9 +55,10 @@ class CostModel(abc.ABC):
         """Build the solver graph ``G_k`` with congestion-aware weights.
 
         Links whose residual bandwidth is below ``min_residual_bandwidth``
-        are omitted (they cannot carry the request anyway).  A microscopic
-        distance-proportional tie-break is added so Steiner trees are
-        deterministic and short on an idle network; see
+        are omitted (they cannot carry the request anyway), as are failed
+        links (see :meth:`~repro.network.sdn.SDNetwork.fail_link`).  A
+        microscopic distance-proportional tie-break is added so Steiner
+        trees are deterministic and short on an idle network; see
         :data:`TIE_BREAK_SCALE`.
         """
         weighted = Graph()
@@ -65,7 +66,7 @@ class CostModel(abc.ABC):
             weighted.add_node(node)
         for u, v, unit_cost in network.graph.edges():
             link = network.link(u, v)
-            if link.residual + 1e-9 < min_residual_bandwidth:
+            if not link.up or link.residual + 1e-9 < min_residual_bandwidth:
                 continue
             weight = self.edge_weight(network, u, v)
             weighted.add_edge(u, v, weight + TIE_BREAK_SCALE * unit_cost)

@@ -112,6 +112,19 @@ class OnlineAlgorithm(abc.ABC):
         assert decision.transaction is not None
         release_tree(decision.transaction)
 
+    def forget(self, request_id: Hashable) -> None:
+        """Drop an admitted request *without* releasing its resources.
+
+        Used by repair strategies that take over ownership of a request's
+        reservations (the surviving allocations are re-homed into a new
+        transaction): after ``forget``, a later :meth:`depart` for the same
+        id raises instead of double-releasing.
+        """
+        if self._active.pop(request_id, None) is None:
+            raise SimulationError(
+                f"request {request_id!r} is not currently admitted"
+            )
+
     @abc.abstractmethod
     def _decide(self, request: MulticastRequest) -> OnlineDecision:
         """Evaluate one request and (on success) commit its reservation."""

@@ -125,9 +125,11 @@ class PseudoMulticastTree:
                 adjacency.setdefault(u, []).append(v)
                 adjacency.setdefault(v, []).append(u)
             roots = [s for s in self.servers if s in adjacency]
+            # processed traffic is visible along the whole return path, so
+            # any of its nodes can feed a distribution subtree (mirrors the
+            # flood in validate_pseudo_tree)
             for path in self.return_paths:
-                if path and path[-1] in adjacency:
-                    roots.append(path[-1])
+                roots.extend(node for node in path if node in adjacency)
             if not roots:  # disconnected oddity: fall back to any endpoint
                 roots = [next(iter(adjacency))]
             seen = set(roots)

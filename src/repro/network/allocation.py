@@ -35,6 +35,28 @@ class AllocationTransaction:
         self._committed = False
         self._rolled_back = False
 
+    @classmethod
+    def adopt(
+        cls,
+        network: SDNetwork,
+        bandwidth_ops: List[Tuple[Node, Node, float]],
+        compute_ops: List[Tuple[Node, float]],
+    ) -> "AllocationTransaction":
+        """Build a *committed* transaction over already-reserved resources.
+
+        The repair layer uses this to re-home a grafted tree's holdings: the
+        surviving reservations of the old tree plus the graft's additions
+        are already booked on the network, and the returned transaction
+        becomes their single owner so a later departure releases exactly
+        once.  No allocation is performed here — the caller asserts that the
+        listed amounts are currently reserved.
+        """
+        txn = cls(network)
+        txn._bandwidth_ops = list(bandwidth_ops)
+        txn._compute_ops = list(compute_ops)
+        txn._committed = True
+        return txn
+
     # ------------------------------------------------------------------
     # reservations
     # ------------------------------------------------------------------

@@ -184,6 +184,20 @@ class Controller:
                 f"request {request_id!r} is not installed"
             ) from None
 
+    def installed_record(self, request_id: RequestId) -> InstalledRequest:
+        """Return the full data-plane record of an installed request.
+
+        Used by the resilience layer to match failed links/servers against
+        each request's ``tree_edges`` and ``servers`` without re-deriving
+        them from the flow rules.
+        """
+        try:
+            return self._by_request[request_id]
+        except KeyError:
+            raise SimulationError(
+                f"request {request_id!r} is not installed"
+            ) from None
+
     def table_occupancy(self, switch: Node) -> int:
         """Return how many rules ``switch`` currently holds."""
         return self._table_size.get(switch, 0)

@@ -17,6 +17,17 @@ from repro.exceptions import CapacityExceededError
 
 _EPSILON = 1e-9
 
+#: Release snap threshold: when a release brings an element within this
+#: *relative* distance of full capacity, the residual is snapped exactly to
+#: the capacity.  Floating-point subtraction is not symmetric — after
+#: ``residual -= a; residual += a`` the residual can drift by an ulp per
+#: round trip — and over a long churn simulation (millions of admit/depart
+#: cycles) that drift becomes a slow capacity leak.  Real allocations are
+#: many orders of magnitude above the threshold (≥ 1 Mbps / MHz against
+#: thousands of capacity), so the snap can only ever absorb drift, never a
+#: genuine reservation.
+_SNAP_FRACTION = 1e-9
+
 
 @dataclass
 class LinkState:
@@ -29,6 +40,10 @@ class LinkState:
         residual: currently unallocated bandwidth ``B_e(k)``.
         delay: propagation delay in milliseconds (used by the
             delay-constrained extension; defaults to 1 ms).
+        up: whether the link is operational.  A failed link carries no new
+            traffic (``can_allocate`` is ``False``) but keeps its residual
+            bookkeeping, so trees routed over it before the failure can
+            still release their reservations during repair or departure.
     """
 
     endpoints: Tuple[Hashable, Hashable]
@@ -36,6 +51,7 @@ class LinkState:
     unit_cost: float
     residual: float = field(default=-1.0)
     delay: float = 1.0
+    up: bool = True
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -53,8 +69,8 @@ class LinkState:
         return 1.0 - self.residual / self.capacity
 
     def can_allocate(self, amount: float) -> bool:
-        """Return whether ``amount`` Mbps fits in the residual bandwidth."""
-        return amount <= self.residual + _EPSILON
+        """Return whether ``amount`` Mbps fits (always ``False`` when down)."""
+        return self.up and amount <= self.residual + _EPSILON
 
     def allocate(self, amount: float) -> None:
         """Reserve ``amount`` Mbps; raises if it does not fit."""
@@ -76,6 +92,8 @@ class LinkState:
                 f"allocated amount"
             )
         self.residual = min(self.capacity, self.residual + amount)
+        if self.capacity - self.residual <= _SNAP_FRACTION * self.capacity:
+            self.residual = self.capacity
 
 
 @dataclass
@@ -87,12 +105,16 @@ class ServerState:
         capacity: total compute ``C_v`` in MHz.
         unit_cost: usage cost ``c_v`` per MHz.
         residual: currently unallocated compute ``C_v(k)``.
+        up: whether the server is operational.  A failed server hosts no new
+            chains (``can_allocate`` is ``False``) but keeps its residual
+            bookkeeping so chains placed before the failure can release.
     """
 
     node: Hashable
     capacity: float
     unit_cost: float
     residual: float = field(default=-1.0)
+    up: bool = True
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -108,8 +130,8 @@ class ServerState:
         return 1.0 - self.residual / self.capacity
 
     def can_allocate(self, amount: float) -> bool:
-        """Return whether ``amount`` MHz fits in the residual compute."""
-        return amount <= self.residual + _EPSILON
+        """Return whether ``amount`` MHz fits (always ``False`` when down)."""
+        return self.up and amount <= self.residual + _EPSILON
 
     def allocate(self, amount: float) -> None:
         """Reserve ``amount`` MHz; raises if it does not fit."""
@@ -131,3 +153,5 @@ class ServerState:
                 f"allocated amount"
             )
         self.residual = min(self.capacity, self.residual + amount)
+        if self.capacity - self.residual <= _SNAP_FRACTION * self.capacity:
+            self.residual = self.capacity

@@ -165,14 +165,16 @@ class SDNetwork:
     def residual_graph(self, min_bandwidth: float = 0.0) -> Graph:
         """Return the subgraph of links with residual ≥ ``min_bandwidth``.
 
-        Node set is preserved in full (isolated switches remain), matching
-        the construction of ``G'`` in Section IV-C.
+        Failed links are excluded regardless of their residual.  Node set is
+        preserved in full (isolated switches remain), matching the
+        construction of ``G'`` in Section IV-C.
         """
         pruned = Graph()
         for node in self._graph.nodes():
             pruned.add_node(node)
         for u, v, weight in self._graph.edges():
-            if self._links[edge_key(u, v)].residual >= min_bandwidth - 1e-9:
+            link = self._links[edge_key(u, v)]
+            if link.up and link.residual >= min_bandwidth - 1e-9:
                 pruned.add_edge(u, v, weight)
         return pruned
 
@@ -247,6 +249,78 @@ class SDNetwork:
         self._epoch += 1
 
     # ------------------------------------------------------------------
+    # failure injection (repro.resilience)
+    # ------------------------------------------------------------------
+    def fail_link(self, u: Node, v: Node) -> bool:
+        """Mark link ``(u, v)`` as failed.
+
+        A failed link is excluded from :meth:`residual_graph` (and every
+        epoch-keyed cache over it) and refuses new allocations; resources
+        already reserved on it remain booked until released.  Returns
+        whether the state changed (``False`` if the link was already down),
+        bumping the epoch only on a real transition so repeated events do
+        not invalidate caches for nothing.
+        """
+        link = self.link(u, v)
+        if not link.up:
+            return False
+        link.up = False
+        self._epoch += 1
+        return True
+
+    def recover_link(self, u: Node, v: Node) -> bool:
+        """Bring link ``(u, v)`` back up; returns whether the state changed."""
+        link = self.link(u, v)
+        if link.up:
+            return False
+        link.up = True
+        self._epoch += 1
+        return True
+
+    def fail_server(self, node: Node) -> bool:
+        """Mark the server at ``node`` as failed (its switch keeps routing).
+
+        Returns whether the state changed (``False`` if already down).
+        """
+        server = self.server(node)
+        if not server.up:
+            return False
+        server.up = False
+        self._epoch += 1
+        return True
+
+    def recover_server(self, node: Node) -> bool:
+        """Bring the server at ``node`` back up; returns whether it changed."""
+        server = self.server(node)
+        if server.up:
+            return False
+        server.up = True
+        self._epoch += 1
+        return True
+
+    def link_is_up(self, u: Node, v: Node) -> bool:
+        """Return whether link ``(u, v)`` is operational."""
+        return self.link(u, v).up
+
+    def server_is_up(self, node: Node) -> bool:
+        """Return whether the server at ``node`` is operational."""
+        return self.server(node).up
+
+    def failed_links(self) -> List[Tuple[Node, Node]]:
+        """Canonical keys of all currently failed links, in a stable order."""
+        return sorted(
+            (key for key, link in self._links.items() if not link.up),
+            key=repr,
+        )
+
+    def failed_servers(self) -> List[Node]:
+        """Nodes of all currently failed servers, in a stable order."""
+        return sorted(
+            (node for node, server in self._servers.items() if not server.up),
+            key=repr,
+        )
+
+    # ------------------------------------------------------------------
     # snapshots
     # ------------------------------------------------------------------
     def snapshot(self) -> NetworkSnapshot:
@@ -269,11 +343,13 @@ class SDNetwork:
         self._epoch += 1
 
     def reset(self) -> None:
-        """Return every resource to its full capacity."""
+        """Return every resource to full capacity and clear all failures."""
         for link in self._links.values():
             link.residual = link.capacity
+            link.up = True
         for server in self._servers.values():
             server.residual = server.capacity
+            server.up = True
         self._epoch += 1
 
     # ------------------------------------------------------------------

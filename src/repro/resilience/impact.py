@@ -1,0 +1,223 @@
+"""Failure impact detection over installed pseudo-multicast trees.
+
+Given the network's current failure state, this module answers two
+questions for each installed request:
+
+1. **Is it affected at all?**  A request is affected when a failed link
+   lies on its tree (any source→server path, distribution edge, or return
+   path) or a failed server hosts part of its chain.  The quick filter
+   :func:`affected_request_ids` answers this straight from the SDN
+   controller's flow-rule records (``tree_edges`` / ``servers``), the same
+   state a real control plane would consult.
+2. **How is it affected?**  :func:`classify_impact` separates *severed
+   service chains* (a dead server, or a broken source→server / return
+   path — the unprocessed stream no longer reaches a working chain) from
+   *severed destinations* (the processed stream no longer reaches some
+   terminals through the surviving distribution edges).  Repair strategies
+   branch on this classification: a severed chain needs a full re-embed,
+   severed destinations can often be re-attached with a cheap graft.
+
+The module also hosts :func:`check_residual_consistency`, the invariant
+auditor the resilience tests run after every repair: residuals in range and
+the controller's table exactly matching the installed trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Set, Tuple
+
+from repro.core.pseudo_tree import PseudoMulticastTree
+from repro.graph.graph import edge_key
+from repro.network.controller import Controller
+from repro.network.sdn import SDNetwork
+
+Node = Hashable
+EdgeKey = Tuple[Node, Node]
+
+
+@dataclass(frozen=True)
+class ImpactReport:
+    """How the current failure state hits one installed request.
+
+    Attributes:
+        request_id: the affected request.
+        failed_tree_links: tree links that are currently down.
+        failed_servers: used servers that are currently down.
+        chain_severed: the service chain no longer receives the unprocessed
+            stream — a used server is down, or a source→server or return
+            path crosses a failed link.  Repairing this requires re-placing
+            the chain (full readmission).
+        severed_destinations: destinations the *processed* stream no longer
+            reaches through surviving distribution edges (assuming the
+            chain itself still works).
+    """
+
+    request_id: Hashable
+    failed_tree_links: FrozenSet[EdgeKey]
+    failed_servers: FrozenSet[Node]
+    chain_severed: bool
+    severed_destinations: FrozenSet[Node]
+
+    @property
+    def broken(self) -> bool:
+        """Whether the failure actually disrupts service for this request."""
+        return self.chain_severed or bool(self.severed_destinations)
+
+
+def _path_crosses(path, down: Set[EdgeKey]) -> bool:
+    return any(edge_key(u, v) in down for u, v in zip(path, path[1:]))
+
+
+def processed_reachable(
+    tree: PseudoMulticastTree, down_links: Set[EdgeKey]
+) -> Set[Node]:
+    """Nodes still receiving the processed stream after removing dead links.
+
+    Injection points are the tree's servers (and every node of an intact
+    return path); the flood expands over distribution edges that are not
+    down.  Mirrors the reachability argument of
+    :func:`repro.core.pseudo_tree.validate_pseudo_tree`, restricted to the
+    surviving subgraph.
+    """
+    adjacency: Dict[Node, List[Node]] = {}
+    for u, v in tree.distribution_edges:
+        if edge_key(u, v) in down_links:
+            continue
+        adjacency.setdefault(u, []).append(v)
+        adjacency.setdefault(v, []).append(u)
+
+    sources: Set[Node] = set(tree.servers)
+    for path in tree.return_paths:
+        if not _path_crosses(path, down_links):
+            sources.update(path)
+    reachable = set(sources)
+    frontier = [node for node in sources if node in adjacency]
+    while frontier:
+        node = frontier.pop()
+        for neighbor in adjacency.get(node, ()):
+            if neighbor not in reachable:
+                reachable.add(neighbor)
+                frontier.append(neighbor)
+    return reachable
+
+
+def classify_impact(
+    network: SDNetwork, tree: PseudoMulticastTree
+) -> ImpactReport:
+    """Classify how the network's current failures affect one tree."""
+    down_links = set(network.failed_links())
+    down_servers = {
+        node for node in network.failed_servers() if node in tree.servers
+    }
+    usage = tree.edge_usage()
+    failed_tree_links = frozenset(e for e in usage if e in down_links)
+
+    chain_severed = bool(down_servers)
+    if not chain_severed:
+        for server, path in tree.server_paths.items():
+            if _path_crosses(path, down_links):
+                chain_severed = True
+                break
+    if not chain_severed:
+        for path in tree.return_paths:
+            if _path_crosses(path, down_links):
+                chain_severed = True
+                break
+
+    if chain_severed:
+        severed = frozenset(tree.request.destinations)
+    else:
+        reachable = processed_reachable(tree, down_links)
+        severed = frozenset(
+            d for d in tree.request.destinations if d not in reachable
+        )
+    return ImpactReport(
+        request_id=tree.request.request_id,
+        failed_tree_links=failed_tree_links,
+        failed_servers=frozenset(down_servers),
+        chain_severed=chain_severed,
+        severed_destinations=severed,
+    )
+
+
+def affected_request_ids(
+    controller: Controller, network: SDNetwork
+) -> List[Hashable]:
+    """Installed requests touching any currently failed link or server.
+
+    Reads the controller's per-request flow-rule records — the data-plane
+    ground truth — and returns ids in installation order (stable across
+    runs, so repair sequences are deterministic).
+    """
+    down_links = set(network.failed_links())
+    down_servers = set(network.failed_servers())
+    affected = []
+    for request_id in controller.installed_requests:
+        record = controller.installed_record(request_id)
+        if record.tree_edges & down_links or record.servers & down_servers:
+            affected.append(request_id)
+    return affected
+
+
+def check_residual_consistency(
+    network: SDNetwork,
+    controller: Controller,
+    active_trees: Iterable[PseudoMulticastTree],
+) -> None:
+    """Audit the network/controller invariants the resilience engine keeps.
+
+    Raises ``AssertionError`` when violated:
+
+    1. every link/server residual lies in ``[0, capacity]`` (within float
+       epsilon);
+    2. the controller's installed set is exactly the active tree set;
+    3. each installed record's links/servers match its tree;
+    4. total table occupancy equals the sum of per-request rule counts.
+    """
+    for link in network.links():
+        if not (-1e-6 <= link.residual <= link.capacity + 1e-6):
+            raise AssertionError(
+                f"link {link.endpoints} residual out of range: "
+                f"{link.residual} not in [0, {link.capacity}]"
+            )
+    for server in network.servers():
+        if not (-1e-6 <= server.residual <= server.capacity + 1e-6):
+            raise AssertionError(
+                f"server {server.node!r} residual out of range: "
+                f"{server.residual} not in [0, {server.capacity}]"
+            )
+
+    trees = {tree.request.request_id: tree for tree in active_trees}
+    installed = set(controller.installed_requests)
+    if installed != set(trees):
+        raise AssertionError(
+            f"controller/table mismatch: installed={sorted(map(repr, installed))} "
+            f"active={sorted(map(repr, trees))}"
+        )
+    expected_rules = 0
+    for request_id, tree in trees.items():
+        record = controller.installed_record(request_id)
+        if record.tree_edges != set(tree.touched_links()):
+            raise AssertionError(
+                f"request {request_id!r}: controller edges do not match tree"
+            )
+        if record.servers != set(tree.servers):
+            raise AssertionError(
+                f"request {request_id!r}: controller servers do not match tree"
+            )
+        expected_rules += len(record.rules)
+    if controller.total_rules() != expected_rules:
+        raise AssertionError(
+            f"table occupancy {controller.total_rules()} != "
+            f"sum of per-request rules {expected_rules}"
+        )
+
+
+__all__ = [
+    "ImpactReport",
+    "affected_request_ids",
+    "check_residual_consistency",
+    "classify_impact",
+    "processed_reachable",
+]

@@ -10,6 +10,12 @@ Three run shapes cover every figure in the paper:
 - :func:`run_online` — a true online run driving an
   :class:`~repro.core.online_base.OnlineAlgorithm` (Figs. 8 and 9), with
   optional departure events for churn experiments.
+
+The resilience extension adds :func:`run_online_with_failures`, which
+replays a merged arrival/departure/failure/recovery stream and hands every
+failure-broken request to a :class:`~repro.resilience.repair.RepairStrategy`.
+With an empty failure schedule it reproduces
+:func:`run_online_with_departures` exactly.
 """
 
 from __future__ import annotations
@@ -30,7 +36,23 @@ from repro.obs import (
     inc as _obs_inc,
     span as _obs_span,
 )
-from repro.simulation.metrics import OfflineRunStats, OnlineRunStats
+from repro.resilience.events import FailureEvent, apply_event
+from repro.resilience.impact import (
+    affected_request_ids,
+    check_residual_consistency,
+    classify_impact,
+)
+from repro.resilience.repair import (
+    ActiveRequest,
+    DropAffected,
+    RepairContext,
+    RepairStrategy,
+)
+from repro.simulation.metrics import (
+    OfflineRunStats,
+    OnlineRunStats,
+    ResilienceRunStats,
+)
 from repro.workload.arrivals import EventKind, RequestEvent
 from repro.workload.request import MulticastRequest
 
@@ -226,3 +248,174 @@ def run_online_with_departures(
     stats.final_server_utilization = network.mean_server_utilization()
     stats.telemetry = _obs_counters_since(before)
     return stats
+
+
+def _touches_failure(
+    active: ActiveRequest, down_links: set, down_servers: set
+) -> bool:
+    """Whether a live tree uses any currently failed link or server."""
+    if down_servers and any(s in down_servers for s in active.tree.servers):
+        return True
+    if not down_links:
+        return False
+    return any(key in down_links for key in active.tree.edge_usage())
+
+
+def run_online_with_failures(
+    algorithm: OnlineAlgorithm,
+    events: Iterable,
+    controller: Optional[Controller] = None,
+    strategy: Optional[RepairStrategy] = None,
+    audit: bool = False,
+) -> ResilienceRunStats:
+    """Drive an online algorithm through arrivals, departures, and failures.
+
+    ``events`` is a merged, time-ordered stream (see
+    :func:`repro.workload.arrivals.interleave`) of
+    :class:`~repro.workload.arrivals.RequestEvent` and
+    :class:`~repro.resilience.events.FailureEvent` records.  Arrivals and
+    departures behave exactly as in :func:`run_online_with_departures`; a
+    failure additionally walks the installed requests it breaks (through
+    the controller's flow-rule records when a controller is attached) and
+    hands each to ``strategy``, which repairs it or drops it.  Recoveries
+    restore capacity for future admissions and repairs but never
+    re-admit a previously dropped request.
+
+    Args:
+        algorithm: the online admission algorithm under test.
+        events: the merged event stream.
+        controller: optional data plane; required for flow-rule-level
+            impact matching (without it, trees are matched directly).
+        strategy: the repair strategy for broken requests (defaults to the
+            :class:`~repro.resilience.repair.DropAffected` baseline).
+        audit: when set, re-check the network/controller residual-
+            consistency invariants after every event (tests; slow).
+
+    Returns:
+        :class:`ResilienceRunStats` — admission fields identical in
+        meaning to :func:`run_online_with_departures`, plus failure,
+        repair, and downtime aggregates.
+    """
+    if strategy is None:
+        strategy = DropAffected()
+    stats = ResilienceRunStats()
+    network = algorithm.network
+    context = RepairContext(
+        network=network, controller=controller, algorithm=algorithm
+    )
+    active: dict = {}
+    #: request_id -> (drop time, destination count) for downtime accounting
+    dropped: dict = {}
+    horizon = 0.0
+    before = _obs_counters() if _obs_enabled() else None
+    started = time.perf_counter()
+    with _obs_span("run_online_with_failures"):
+        for event in events:
+            horizon = max(horizon, event.time)
+            if isinstance(event, FailureEvent):
+                _handle_failure_event(
+                    event, context, strategy, active, dropped, stats
+                )
+            elif event.kind is EventKind.ARRIVAL:
+                request = event.request
+                decision = algorithm.process(request)
+                if decision.admitted and controller is not None:
+                    _install_admitted(algorithm, controller, decision)
+                if decision.admitted:
+                    assert decision.tree is not None
+                    assert decision.transaction is not None
+                    active[request.request_id] = ActiveRequest(
+                        request=request,
+                        tree=decision.tree,
+                        transaction=decision.transaction,
+                        via_algorithm=True,
+                    )
+                    stats.admitted += 1
+                    stats.operational_costs.append(decision.tree.total_cost)
+                else:
+                    stats.rejected += 1
+                    stats.record_rejection(decision.reason)
+                stats.admitted_timeline.append(stats.admitted)
+            else:
+                request = event.request
+                record = active.pop(request.request_id, None)
+                if record is not None:
+                    _obs_inc("engine.departures")
+                    if record.via_algorithm:
+                        algorithm.depart(request.request_id)
+                    else:
+                        record.transaction.release_all()
+                    if controller is not None:
+                        controller.uninstall(request.request_id)
+                elif request.request_id in dropped:
+                    # the request would have departed now; its downtime ends
+                    drop_time, destinations = dropped.pop(request.request_id)
+                    stats.destination_downtime += destinations * (
+                        event.time - drop_time
+                    )
+            if audit and controller is not None:
+                check_residual_consistency(
+                    network, controller, [a.tree for a in active.values()]
+                )
+    # requests dropped and never departing are down until the run's horizon
+    for drop_time, destinations in dropped.values():
+        stats.destination_downtime += destinations * (horizon - drop_time)
+    stats.total_runtime = time.perf_counter() - started
+    stats.final_link_utilization = network.mean_link_utilization()
+    stats.final_server_utilization = network.mean_server_utilization()
+    stats.telemetry = _obs_counters_since(before)
+    return stats
+
+
+def _handle_failure_event(
+    event: FailureEvent,
+    context: RepairContext,
+    strategy: RepairStrategy,
+    active: dict,
+    dropped: dict,
+    stats: ResilienceRunStats,
+) -> None:
+    """Apply one failure/recovery and repair the requests it breaks."""
+    network = context.network
+    changed = apply_event(network, event)
+    if event.up:
+        if changed:
+            stats.recoveries += 1
+            _obs_inc("engine.recoveries")
+        return
+    if not changed:
+        return
+    stats.failures += 1
+    _obs_inc("engine.failures")
+    with _obs_span("failure_repair"):
+        if context.controller is not None:
+            candidates = [
+                rid
+                for rid in affected_request_ids(context.controller, network)
+                if rid in active
+            ]
+        else:
+            down_links = set(network.failed_links())
+            down_servers = set(network.failed_servers())
+            candidates = [
+                rid
+                for rid, record in active.items()
+                if _touches_failure(record, down_links, down_servers)
+            ]
+        for rid in candidates:
+            impact = classify_impact(network, active[rid].tree)
+            if not impact.broken:
+                continue
+            stats.broken_requests += 1
+            _obs_inc("engine.broken_requests")
+            record = active.pop(rid)
+            result = strategy.repair(context, record, impact)
+            stats.record_repair(result.action.value)
+            if result.active is not None:
+                active[rid] = result.active
+                stats.repair_costs.append(result.repair_cost)
+            else:
+                dropped[rid] = (
+                    event.time,
+                    len(record.request.destinations),
+                )

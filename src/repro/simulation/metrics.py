@@ -101,3 +101,70 @@ class OnlineRunStats:
         """Bump the histogram for one rejection."""
         if reason is not None:
             self.reject_reasons[reason] = self.reject_reasons.get(reason, 0) + 1
+
+
+@dataclass
+class ResilienceRunStats(OnlineRunStats):
+    """Aggregates for an online run with failure injection and repair.
+
+    Extends :class:`OnlineRunStats` (the admission-side fields keep their
+    exact semantics, so a failure-free run is directly comparable to a
+    :func:`~repro.simulation.engine.run_online_with_departures` run) with
+    the resilience measurements the experiment reports.
+
+    Attributes:
+        failures: failure events that actually took an element down.
+        recoveries: recovery events that actually brought one back.
+        broken_requests: installed requests whose service a failure broke
+            (counted once per disruption; a request can be broken — and
+            repaired — multiple times over its lifetime).
+        repairs: histogram of repair outcomes, keyed by
+            ``RepairAction.value`` (``"dropped"`` / ``"readmitted"`` /
+            ``"grafted"``).
+        repair_costs: cost of each successful repair — the resources the
+            strategy (re)programmed (drops contribute nothing here).
+        destination_downtime: total destination-time lost to drops: each
+            dropped request contributes ``|D_k| × (service end − drop
+            time)``, where service end is its departure time (or the run
+            horizon if it never departs).
+    """
+
+    failures: int = 0
+    recoveries: int = 0
+    broken_requests: int = 0
+    repairs: Dict[str, int] = field(default_factory=dict)
+    repair_costs: List[float] = field(default_factory=list)
+    destination_downtime: float = 0.0
+
+    def record_repair(self, action_value: str) -> None:
+        """Bump the repair-outcome histogram."""
+        self.repairs[action_value] = self.repairs.get(action_value, 0) + 1
+
+    @property
+    def dropped_by_failure(self) -> int:
+        """Broken requests that ended up dropped instead of repaired."""
+        return self.repairs.get("dropped", 0)
+
+    @property
+    def repaired(self) -> int:
+        """Broken requests whose service was restored (graft or readmit)."""
+        return self.repairs.get("grafted", 0) + self.repairs.get(
+            "readmitted", 0
+        )
+
+    @property
+    def disruption_ratio(self) -> float:
+        """Fraction of admitted requests that lost service to a failure."""
+        return self.dropped_by_failure / self.admitted if self.admitted else 0.0
+
+    @property
+    def mean_repair_cost(self) -> float:
+        """Average cost of a successful repair (0 when none happened)."""
+        if not self.repair_costs:
+            return 0.0
+        return sum(self.repair_costs) / len(self.repair_costs)
+
+    @property
+    def repairs_per_failure(self) -> float:
+        """Successful repairs per effective failure event."""
+        return self.repaired / self.failures if self.failures else 0.0

@@ -25,13 +25,36 @@ class EventKind(enum.Enum):
     DEPARTURE = "departure"
 
 
+#: Rank of each event kind at equal times.  Departures precede arrivals so
+#: capacity freed by a departure is usable by a simultaneous arrival.  The
+#: resilience layer slots its events *before* both (recoveries at −2,
+#: failures at −1 — see :mod:`repro.resilience.events`), so a simultaneous
+#: arrival always sees the post-failure network.
+DEPARTURE_RANK = 0
+ARRIVAL_RANK = 1
+
+
+def event_tiebreak(value: object) -> tuple:
+    """A total, deterministic ordering key over arbitrary hashable ids.
+
+    Numeric ids keep their natural order; everything else falls back to
+    ``repr``.  The two classes never compare against each other (the leading
+    tag separates them), so mixed-type id sets still sort without raising —
+    which is what makes :func:`interleave` total.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return (1, 0.0, repr(value))
+    return (0, float(value), "")
+
+
 @dataclass(frozen=True)
 class RequestEvent:
     """A timestamped arrival or departure.
 
-    Ordering is by ``(time, kind)`` with departures before arrivals at equal
-    times, so capacity freed by a departure is usable by a simultaneous
-    arrival.
+    Ordering is by ``(time, rank, request id)``: departures before arrivals
+    at equal times, and coincident events of the same kind tie-broken by
+    request id (see :func:`event_tiebreak`), so every interleaving is
+    reproducible across runs and worker processes.
     """
 
     time: float
@@ -39,9 +62,12 @@ class RequestEvent:
     request: MulticastRequest
 
     def sort_key(self) -> tuple:
-        """Key ordering departures ahead of coincident arrivals."""
-        return (self.time, 0 if self.kind is EventKind.DEPARTURE else 1,
-                self.request.request_id)
+        """Total ordering key: departures ahead of coincident arrivals."""
+        rank = (
+            DEPARTURE_RANK if self.kind is EventKind.DEPARTURE
+            else ARRIVAL_RANK
+        )
+        return (self.time, rank, event_tiebreak(self.request.request_id))
 
 
 def one_by_one(requests: Sequence[MulticastRequest]) -> List[RequestEvent]:
@@ -87,10 +113,19 @@ def poisson_process(
     return events
 
 
-def interleave(*streams: Sequence[RequestEvent]) -> List[RequestEvent]:
-    """Merge several event streams into one time-ordered list."""
-    merged: List[RequestEvent] = []
+def interleave(*streams: Sequence) -> List:
+    """Merge event streams into one total-ordered list.
+
+    Accepts any mix of event types exposing a ``sort_key()`` method whose
+    keys are mutually comparable — request events and the resilience
+    layer's failure events share the ``(time, rank, tiebreak)`` shape, so
+    arrival/departure/failure/recovery streams interleave deterministically.
+    The sort is stable, so events with fully equal keys keep the order of
+    the argument streams; the combined key is total (no unordered ties), so
+    the merged sequence is identical across runs and ``--workers`` values.
+    """
+    merged: List = []
     for stream in streams:
         merged.extend(stream)
-    merged.sort(key=RequestEvent.sort_key)
+    merged.sort(key=lambda event: event.sort_key())
     return merged

@@ -27,7 +27,7 @@ class TestRegistry:
     def test_every_figure_registered(self):
         assert set(EXPERIMENTS) == {
             "fig5", "fig6", "fig7", "fig8", "fig9", "ablations",
-            "competitive", "fig8ci",
+            "competitive", "fig8ci", "resilience",
         }
 
     def test_unknown_experiment_raises(self):

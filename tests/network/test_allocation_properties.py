@@ -1,0 +1,152 @@
+"""Property-based tests for AllocationTransaction's lifecycle guarantees.
+
+Complements ``test_properties.py`` (capacity conservation) with the
+transactional contract itself: rollback after a partial failure restores
+the pre-transaction state exactly, and the commit/rollback/release state
+machine rejects every out-of-order transition.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import AllocationError, CapacityExceededError
+from repro.network import AllocationTransaction, build_sdn
+from repro.topology import waxman_graph
+
+
+def make_network(seed=7):
+    graph, _ = waxman_graph(12, alpha=0.5, beta=0.5, seed=seed)
+    return build_sdn(graph, seed=seed, server_fraction=0.25)
+
+
+def snapshot_residuals(network):
+    links = {link.endpoints: link.residual for link in network.links()}
+    servers = {server.node: server.residual for server in network.servers()}
+    return links, servers
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 100),  # element index
+            st.floats(1.0, 3000.0, allow_nan=False),
+            st.booleans(),  # bandwidth or compute
+        ),
+        min_size=1,
+        max_size=15,
+    ),
+    st.integers(0, 14),  # where the poison pill goes
+)
+def test_rollback_after_partial_failure_restores_state(operations, pill_at):
+    """A transaction that dies mid-flight leaves no trace.
+
+    A deliberately impossible allocation (more than total capacity) is
+    injected at a random position; whether the transaction fails there or
+    survives to be rolled back manually, the residuals afterwards must be
+    exactly the pre-transaction values.
+    """
+    network = make_network()
+    edges = [(u, v) for u, v, _ in network.graph.edges()]
+    servers = network.server_nodes
+    before = snapshot_residuals(network)
+
+    txn = AllocationTransaction(network)
+    try:
+        for position, (index, amount, use_bandwidth) in enumerate(operations):
+            if position == pill_at % len(operations):
+                u, v = edges[index % len(edges)]
+                poison = network.link(u, v).capacity + 1.0
+                txn.allocate_bandwidth(u, v, poison)
+            elif use_bandwidth:
+                u, v = edges[index % len(edges)]
+                txn.allocate_bandwidth(u, v, amount)
+            else:
+                node = servers[index % len(servers)]
+                txn.allocate_compute(node, amount)
+    except CapacityExceededError:
+        pass
+    txn.rollback()
+
+    assert snapshot_residuals(network) == before
+    assert txn.bandwidth_reservations == []
+    assert txn.compute_reservations == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 50), st.floats(1.0, 500.0, allow_nan=False)),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_commit_then_release_all_restores_state(operations):
+    """commit + release_all is a perfect inverse of the allocations."""
+    network = make_network(seed=11)
+    edges = [(u, v) for u, v, _ in network.graph.edges()]
+    before = snapshot_residuals(network)
+    txn = AllocationTransaction(network)
+    for index, amount in operations:
+        u, v = edges[index % len(edges)]
+        txn.allocate_bandwidth(u, v, amount)
+    txn.commit()
+    txn.release_all()
+    assert snapshot_residuals(network) == before
+
+
+class TestLifecycleStateMachine:
+    def test_double_rollback_is_idempotent(self):
+        network = make_network()
+        (u, v), *_ = [(a, b) for a, b, _ in network.graph.edges()]
+        txn = AllocationTransaction(network)
+        txn.allocate_bandwidth(u, v, 10.0)
+        txn.rollback()
+        before = snapshot_residuals(network)
+        txn.rollback()  # second rollback must be a silent no-op
+        assert snapshot_residuals(network) == before
+
+    def test_commit_after_rollback_raises(self):
+        txn = AllocationTransaction(make_network())
+        txn.rollback()
+        with pytest.raises(AllocationError):
+            txn.commit()
+
+    def test_double_commit_raises(self):
+        txn = AllocationTransaction(make_network())
+        txn.commit()
+        with pytest.raises(AllocationError):
+            txn.commit()
+
+    def test_rollback_after_commit_raises(self):
+        txn = AllocationTransaction(make_network())
+        txn.commit()
+        with pytest.raises(AllocationError):
+            txn.rollback()
+
+    def test_release_all_requires_commit(self):
+        txn = AllocationTransaction(make_network())
+        with pytest.raises(AllocationError):
+            txn.release_all()
+
+    def test_allocate_after_commit_raises(self):
+        network = make_network()
+        (u, v), *_ = [(a, b) for a, b, _ in network.graph.edges()]
+        txn = AllocationTransaction(network)
+        txn.commit()
+        with pytest.raises(AllocationError):
+            txn.allocate_bandwidth(u, v, 1.0)
+
+    def test_adopt_builds_released_ownership(self):
+        """adopt() creates a committed transaction over existing holdings."""
+        network = make_network()
+        (u, v), *_ = [(a, b) for a, b, _ in network.graph.edges()]
+        network.allocate_bandwidth(u, v, 25.0)
+        txn = AllocationTransaction.adopt(
+            network, bandwidth_ops=[(u, v, 25.0)], compute_ops=[]
+        )
+        assert not txn.is_open
+        txn.release_all()
+        link = network.link(u, v)
+        assert link.residual == link.capacity

@@ -1,0 +1,80 @@
+"""Fixtures for the resilience tests: a hand-built network and tree.
+
+Topology (unit-cost links unless noted; servers at ``b`` and ``e``)::
+
+    s - a - b(server) - c - d1
+             \\          |\\
+              d2 -------/  e(server)
+                (cost 2)
+
+The canonical installed tree serves ``{d1, d2}`` from the server at ``b``:
+source path ``s-a-b``, distribution edges ``(b,c) (c,d1) (b,d2)``.  Failing
+``(b,d2)`` severs only ``d2`` (graftable via the cost-2 ``c-d2`` link);
+failing ``(a,b)`` or the server ``b`` severs the whole chain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pseudo_tree import PseudoMulticastTree
+from repro.graph import Graph
+from repro.network import Controller, build_sdn
+from repro.nfv import FunctionType, ServiceChain
+from repro.workload import MulticastRequest
+
+
+@pytest.fixture
+def toy_network():
+    graph = Graph.from_edges([
+        ("s", "a", 1.0),
+        ("a", "b", 1.0),
+        ("b", "c", 1.0),
+        ("c", "d1", 1.0),
+        ("b", "d2", 1.0),
+        ("c", "d2", 2.0),
+        ("c", "e", 1.0),
+    ])
+    return build_sdn(
+        graph, server_nodes=["b", "e"], seed=5, link_cost_scale=1.0
+    )
+
+
+@pytest.fixture
+def toy_request():
+    return MulticastRequest.create(
+        request_id=1,
+        source="s",
+        destinations=["d1", "d2"],
+        bandwidth=10.0,
+        chain=ServiceChain.of(FunctionType.NAT),
+    )
+
+
+@pytest.fixture
+def toy_tree(toy_network, toy_request):
+    return PseudoMulticastTree(
+        request=toy_request,
+        servers=("b",),
+        server_paths={"b": ("s", "a", "b")},
+        distribution_edges=(("b", "c"), ("c", "d1"), ("b", "d2")),
+        return_paths=(),
+        bandwidth_cost=5 * toy_request.bandwidth,  # 5 unit-cost traversals
+        compute_cost=toy_network.chain_cost("b", toy_request.compute_demand),
+    )
+
+
+@pytest.fixture
+def installed(toy_network, toy_tree):
+    """The toy tree allocated and programmed: (network, controller, txn)."""
+    from repro.core.admission import try_allocate
+
+    controller = Controller()
+    txn = try_allocate(toy_network, toy_tree)
+    assert txn is not None
+    controller.install_tree(
+        toy_tree.request.request_id,
+        toy_tree.routing_hops(),
+        list(toy_tree.servers),
+    )
+    return toy_network, controller, txn

@@ -1,0 +1,167 @@
+"""Engine tests: failure-free parity, invariants under repair, determinism."""
+
+import pytest
+
+from repro import obs
+from repro.analysis.profiles import ExperimentProfile
+from repro.analysis.resilience import run_resilience
+from repro.core import OnlineCP
+from repro.network import Controller, build_sdn
+from repro.resilience.events import exponential_failures, horizon_of
+from repro.resilience.repair import STRATEGIES
+from repro.simulation import (
+    run_online_with_departures,
+    run_online_with_failures,
+    set_default_workers,
+)
+from repro.topology import gt_itm_flat
+from repro.workload import generate_workload, poisson_process
+from repro.workload.arrivals import interleave
+
+SEED = 13
+
+
+def _setup(seed=SEED, requests=30):
+    graph = gt_itm_flat(40, seed=seed)
+    network = build_sdn(graph, seed=seed)
+    workload = generate_workload(graph, requests, dmax_ratio=0.1, seed=seed + 1)
+    events = poisson_process(workload, 2.0, 8.0, seed=seed + 2)
+    return network, events
+
+
+class TestFailureFreeParity:
+    """An empty failure schedule must reproduce the departures engine."""
+
+    def test_bit_identical_to_run_with_departures(self):
+        network_a, events = _setup()
+        network_b, _ = _setup()
+
+        obs.enable()
+        baseline = run_online_with_departures(
+            OnlineCP(network_a), events, controller=Controller()
+        )
+        with_failures = run_online_with_failures(
+            OnlineCP(network_b), interleave(events, []),
+            controller=Controller(),
+        )
+
+        assert with_failures.admitted == baseline.admitted
+        assert with_failures.rejected == baseline.rejected
+        assert with_failures.operational_costs == baseline.operational_costs
+        assert with_failures.admitted_timeline == baseline.admitted_timeline
+        assert with_failures.reject_reasons == baseline.reject_reasons
+        assert (
+            with_failures.final_link_utilization
+            == baseline.final_link_utilization
+        )
+        # per-element residuals are bit-identical
+        for link_a, link_b in zip(network_a.links(), network_b.links()):
+            assert link_a.endpoints == link_b.endpoints
+            assert link_a.residual == link_b.residual
+        for server_a, server_b in zip(network_a.servers(), network_b.servers()):
+            assert server_a.residual == server_b.residual
+        # identical counter totals (spans differ by name; counters may not)
+        assert with_failures.telemetry == baseline.telemetry
+        # and no failure-side activity was recorded
+        assert with_failures.failures == 0
+        assert with_failures.broken_requests == 0
+        assert with_failures.repairs == {}
+        assert with_failures.destination_downtime == 0.0
+
+
+class TestRepairInvariants:
+    """Every strategy keeps the network residual-consistent at every event."""
+
+    @pytest.mark.parametrize(
+        "strategy_cls", STRATEGIES, ids=[cls.name for cls in STRATEGIES]
+    )
+    def test_audited_run_with_failures(self, strategy_cls):
+        network, workload_events = _setup(seed=21, requests=25)
+        failures = exponential_failures(
+            network,
+            mean_time_to_failure=horizon_of(workload_events) * 0.6,
+            mean_time_to_repair=horizon_of(workload_events) * 0.05,
+            horizon=horizon_of(workload_events),
+            seed=4,
+            fraction=0.4,
+        )
+        events = interleave(workload_events, failures)
+        stats = run_online_with_failures(
+            OnlineCP(network),
+            events,
+            controller=Controller(),
+            strategy=strategy_cls(),
+            audit=True,  # check_residual_consistency after every event
+        )
+        assert stats.failures > 0
+        assert stats.broken_requests > 0
+        # every broken request was either repaired or dropped
+        assert sum(stats.repairs.values()) == stats.broken_requests
+        # all requests departed or were dropped: exact full restoration
+        for link in network.links():
+            assert link.residual == link.capacity
+        for server in network.servers():
+            assert server.residual == server.capacity
+
+    def test_drop_strategy_accumulates_downtime(self):
+        network, workload_events = _setup(seed=21, requests=25)
+        failures = exponential_failures(
+            network,
+            mean_time_to_failure=horizon_of(workload_events) * 0.6,
+            mean_time_to_repair=horizon_of(workload_events) * 0.05,
+            horizon=horizon_of(workload_events),
+            seed=4,
+            fraction=0.4,
+        )
+        stats = run_online_with_failures(
+            OnlineCP(network),
+            interleave(workload_events, failures),
+            controller=Controller(),
+        )
+        assert stats.dropped_by_failure == stats.broken_requests
+        assert stats.destination_downtime > 0.0
+
+
+TINY_PROFILE = ExperimentProfile(
+    name="tiny-resilience",
+    network_sizes=(30,),
+    ratios=(0.1,),
+    offline_requests=3,
+    online_requests=150,
+    request_counts=(50,),
+    base_seed=7,
+)
+
+
+class TestResilienceExperiment:
+    def test_strategy_ordering_and_worker_invariance(self):
+        set_default_workers(1)
+        try:
+            serial = run_resilience(TINY_PROFILE)
+            set_default_workers(2)
+            parallel = run_resilience(TINY_PROFILE)
+        finally:
+            set_default_workers(None)
+
+        service = next(
+            p for p in serial if p.figure_id == "resilience-service"
+        )
+        cost = next(p for p in serial if p.figure_id == "resilience-cost")
+        names = [str(x) for x in service.xs]
+        broken = service.series_by_label("broken").values
+        assert all(b > 0 for b in broken)
+
+        # acceptance orderings on the seeded scenario
+        ratio = service.series_by_label("disruption_ratio").values
+        assert ratio[names.index("graft")] < ratio[names.index("drop")]
+        mean_cost = cost.series_by_label("mean_repair_cost").values
+        assert (
+            mean_cost[names.index("graft")] < mean_cost[names.index("readmit")]
+        )
+
+        # identical results at every worker count
+        for panel_a, panel_b in zip(serial, parallel):
+            assert panel_a.xs == panel_b.xs
+            for series_a, series_b in zip(panel_a.series, panel_b.series):
+                assert series_a.label == series_b.label
+                assert series_a.values == series_b.values

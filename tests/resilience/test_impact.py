@@ -1,0 +1,121 @@
+"""Unit tests for failure impact classification and the consistency audit."""
+
+import dataclasses
+
+import pytest
+
+from repro.graph.graph import edge_key
+from repro.resilience.impact import (
+    affected_request_ids,
+    check_residual_consistency,
+    classify_impact,
+    processed_reachable,
+)
+
+
+class TestClassifyImpact:
+    def test_healthy_network_not_broken(self, toy_network, toy_tree):
+        impact = classify_impact(toy_network, toy_tree)
+        assert not impact.broken
+        assert not impact.chain_severed
+        assert impact.severed_destinations == frozenset()
+        assert impact.failed_tree_links == frozenset()
+
+    def test_distribution_failure_severs_one_destination(
+        self, toy_network, toy_tree
+    ):
+        toy_network.fail_link("b", "d2")
+        impact = classify_impact(toy_network, toy_tree)
+        assert impact.broken
+        assert not impact.chain_severed
+        assert impact.severed_destinations == frozenset({"d2"})
+        assert impact.failed_tree_links == frozenset({edge_key("b", "d2")})
+
+    def test_source_path_failure_severs_chain(self, toy_network, toy_tree):
+        toy_network.fail_link("a", "b")
+        impact = classify_impact(toy_network, toy_tree)
+        assert impact.chain_severed
+        assert impact.severed_destinations == frozenset({"d1", "d2"})
+
+    def test_server_failure_severs_chain(self, toy_network, toy_tree):
+        toy_network.fail_server("b")
+        impact = classify_impact(toy_network, toy_tree)
+        assert impact.chain_severed
+        assert impact.failed_servers == frozenset({"b"})
+
+    def test_unrelated_failure_ignored(self, toy_network, toy_tree):
+        toy_network.fail_link("c", "e")  # not on the tree
+        toy_network.fail_server("e")  # not a used server
+        impact = classify_impact(toy_network, toy_tree)
+        assert not impact.broken
+        assert impact.failed_tree_links == frozenset()
+        assert impact.failed_servers == frozenset()
+
+    def test_return_path_failure_severs_chain(self, toy_network, toy_tree):
+        # Variant tree: processed traffic returns over (b, c) and fans out
+        # from c.  Failing (b, c) starves the whole distribution.
+        tree = dataclasses.replace(
+            toy_tree,
+            return_paths=(("b", "c"),),
+            distribution_edges=(("c", "d1"), ("c", "d2")),
+        )
+        toy_network.fail_link("b", "c")
+        impact = classify_impact(toy_network, tree)
+        assert impact.chain_severed
+        assert impact.severed_destinations == frozenset({"d1", "d2"})
+
+
+class TestProcessedReachable:
+    def test_flood_stops_at_down_links(self, toy_tree):
+        down = {edge_key("b", "d2")}
+        reachable = processed_reachable(toy_tree, down)
+        assert "d1" in reachable and "c" in reachable
+        assert "d2" not in reachable
+
+    def test_full_reach_without_failures(self, toy_tree):
+        reachable = processed_reachable(toy_tree, set())
+        assert {"b", "c", "d1", "d2"} <= reachable
+
+
+class TestAffectedRequestIds:
+    def test_matches_failed_tree_link(self, installed):
+        network, controller, _ = installed
+        assert affected_request_ids(controller, network) == []
+        network.fail_link("c", "d1")
+        assert affected_request_ids(controller, network) == [1]
+
+    def test_matches_failed_server(self, installed):
+        network, controller, _ = installed
+        network.fail_server("b")
+        assert affected_request_ids(controller, network) == [1]
+
+    def test_off_tree_failure_not_matched(self, installed):
+        network, controller, _ = installed
+        network.fail_link("c", "e")
+        network.fail_server("e")
+        assert affected_request_ids(controller, network) == []
+
+
+class TestResidualConsistency:
+    def test_installed_state_is_consistent(self, installed, toy_tree):
+        network, controller, _ = installed
+        check_residual_consistency(network, controller, [toy_tree])
+
+    def test_detects_controller_mismatch(self, installed, toy_tree):
+        network, controller, _ = installed
+        controller.uninstall(1)
+        with pytest.raises(AssertionError):
+            check_residual_consistency(network, controller, [toy_tree])
+
+    def test_detects_negative_residual(self, installed, toy_tree):
+        network, controller, _ = installed
+        network.link("s", "a").residual = -5.0
+        with pytest.raises(AssertionError):
+            check_residual_consistency(network, controller, [toy_tree])
+
+    def test_detects_wrong_tree_edges(self, installed, toy_tree):
+        network, controller, _ = installed
+        record = controller.installed_record(1)
+        record.tree_edges.add(edge_key("c", "e"))
+        with pytest.raises(AssertionError):
+            check_residual_consistency(network, controller, [toy_tree])

@@ -1,0 +1,211 @@
+"""Unit tests for the repair strategies on the hand-built scenario."""
+
+import pytest
+
+from repro.core import SPOnline
+from repro.core.pseudo_tree import validate_pseudo_tree
+from repro.exceptions import SimulationError
+from repro.graph.graph import edge_key
+from repro.resilience.impact import (
+    check_residual_consistency,
+    classify_impact,
+)
+from repro.resilience.repair import (
+    ActiveRequest,
+    DropAffected,
+    FullReadmit,
+    RepairAction,
+    RepairContext,
+    SubtreeGraft,
+    strategy_by_name,
+)
+
+
+def _active(toy_request, toy_tree, txn):
+    return ActiveRequest(
+        request=toy_request,
+        tree=toy_tree,
+        transaction=txn,
+        via_algorithm=False,
+    )
+
+
+def _context(network, controller):
+    return RepairContext(network=network, controller=controller,
+                         algorithm=None)
+
+
+def _assert_everything_released(network):
+    for link in network.links():
+        assert link.residual == link.capacity
+    for server in network.servers():
+        assert server.residual == server.capacity
+
+
+class TestDropAffected:
+    def test_releases_everything(self, installed, toy_request, toy_tree):
+        network, controller, txn = installed
+        network.fail_link("b", "d2")
+        impact = classify_impact(network, toy_tree)
+        result = DropAffected().repair(
+            _context(network, controller), _active(toy_request, toy_tree, txn),
+            impact,
+        )
+        assert result.action is RepairAction.DROPPED
+        assert result.repair_cost == 0.0
+        assert result.active is None
+        assert controller.installed_requests == []
+        assert controller.total_rules() == 0
+        _assert_everything_released(network)
+
+
+class TestFullReadmit:
+    def test_reembeds_around_failed_link(
+        self, installed, toy_request, toy_tree
+    ):
+        network, controller, txn = installed
+        network.fail_link("b", "d2")
+        impact = classify_impact(network, toy_tree)
+        result = FullReadmit().repair(
+            _context(network, controller), _active(toy_request, toy_tree, txn),
+            impact,
+        )
+        assert result.action is RepairAction.READMITTED
+        assert result.active is not None
+        new_tree = result.active.tree
+        validate_pseudo_tree(network, new_tree)
+        assert edge_key("b", "d2") not in new_tree.edge_usage()
+        assert result.repair_cost == pytest.approx(new_tree.total_cost)
+        assert not result.active.via_algorithm
+        check_residual_consistency(network, controller, [new_tree])
+
+    def test_reembeds_on_other_server_when_server_dies(
+        self, installed, toy_request, toy_tree
+    ):
+        network, controller, txn = installed
+        network.fail_server("b")
+        impact = classify_impact(network, toy_tree)
+        result = FullReadmit().repair(
+            _context(network, controller), _active(toy_request, toy_tree, txn),
+            impact,
+        )
+        assert result.action is RepairAction.READMITTED
+        assert result.active.tree.servers == ("e",)
+        check_residual_consistency(network, controller, [result.active.tree])
+
+    def test_drops_when_network_is_cut(
+        self, installed, toy_request, toy_tree
+    ):
+        network, controller, txn = installed
+        network.fail_link("s", "a")  # the source is now isolated
+        impact = classify_impact(network, toy_tree)
+        result = FullReadmit().repair(
+            _context(network, controller), _active(toy_request, toy_tree, txn),
+            impact,
+        )
+        assert result.action is RepairAction.DROPPED
+        assert controller.installed_requests == []
+        _assert_everything_released(network)
+
+
+class TestSubtreeGraft:
+    def test_grafts_severed_destination(
+        self, installed, toy_request, toy_tree
+    ):
+        network, controller, txn = installed
+        network.fail_link("b", "d2")
+        impact = classify_impact(network, toy_tree)
+        result = SubtreeGraft().repair(
+            _context(network, controller), _active(toy_request, toy_tree, txn),
+            impact,
+        )
+        assert result.action is RepairAction.GRAFTED
+        new_tree = result.active.tree
+        validate_pseudo_tree(network, new_tree)
+        # the surviving structure is untouched; d2 re-attaches via c (cost 2)
+        assert new_tree.server_paths == toy_tree.server_paths
+        assert edge_key("c", "d2") in new_tree.edge_usage()
+        assert edge_key("b", "d2") not in new_tree.edge_usage()
+        assert result.repair_cost == pytest.approx(
+            toy_request.bandwidth * 2.0
+        )
+        # the failed link's reservation was released in full
+        failed = network.link("b", "d2")
+        assert failed.residual == failed.capacity
+        check_residual_consistency(network, controller, [new_tree])
+
+    def test_graft_cheaper_than_readmit_same_scenario(
+        self, toy_network, toy_request, toy_tree
+    ):
+        from repro.core.admission import try_allocate
+        from repro.network import Controller
+
+        costs = {}
+        for name in ("graft", "readmit"):
+            toy_network.reset()
+            controller = Controller()
+            txn = try_allocate(toy_network, toy_tree)
+            controller.install_tree(
+                toy_request.request_id,
+                toy_tree.routing_hops(),
+                list(toy_tree.servers),
+            )
+            toy_network.fail_link("b", "d2")
+            impact = classify_impact(toy_network, toy_tree)
+            result = strategy_by_name(name).repair(
+                _context(toy_network, controller),
+                _active(toy_request, toy_tree, txn),
+                impact,
+            )
+            assert result.active is not None
+            costs[name] = result.repair_cost
+        assert costs["graft"] < costs["readmit"]
+
+    def test_falls_back_to_readmit_when_chain_severed(
+        self, installed, toy_request, toy_tree
+    ):
+        network, controller, txn = installed
+        network.fail_server("b")
+        impact = classify_impact(network, toy_tree)
+        result = SubtreeGraft().repair(
+            _context(network, controller), _active(toy_request, toy_tree, txn),
+            impact,
+        )
+        assert result.action is RepairAction.READMITTED
+        assert result.active.tree.servers == ("e",)
+
+    def test_drops_when_orphan_unreachable(
+        self, installed, toy_request, toy_tree
+    ):
+        network, controller, txn = installed
+        # d2's only remaining link has too little residual for the graft,
+        # so both the graft and the readmission fallback must fail.
+        blocker = network.link("c", "d2")
+        network.allocate_bandwidth(
+            "c", "d2", blocker.residual - toy_request.bandwidth / 2
+        )
+        network.fail_link("b", "d2")
+        impact = classify_impact(network, toy_tree)
+        result = SubtreeGraft().repair(
+            _context(network, controller), _active(toy_request, toy_tree, txn),
+            impact,
+        )
+        assert result.action is RepairAction.DROPPED
+        assert controller.installed_requests == []
+
+
+class TestOwnershipTransfer:
+    def test_forget_prevents_double_release(self, toy_network, toy_request):
+        algorithm = SPOnline(toy_network)
+        decision = algorithm.process(toy_request)
+        assert decision.admitted
+        algorithm.forget(toy_request.request_id)
+        with pytest.raises(SimulationError):
+            algorithm.depart(toy_request.request_id)
+        # the reservation is still live: the network is NOT back to full
+        assert toy_network.total_bandwidth_allocated() > 0
+
+    def test_forget_unknown_request_raises(self, toy_network):
+        algorithm = SPOnline(toy_network)
+        with pytest.raises(SimulationError):
+            algorithm.forget("nope")
