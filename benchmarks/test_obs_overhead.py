@@ -48,7 +48,7 @@ def _baseline_seconds():
     """Read the recorded baseline, producing the artifact if absent."""
     if not os.path.exists(RESULT_PATH):
         run_obs_benchmark(output_path=RESULT_PATH)
-    with open(RESULT_PATH, "r", encoding="utf-8") as handle:
+    with open(RESULT_PATH, encoding="utf-8") as handle:
         return json.load(handle)["disabled_baseline_seconds"]
 
 

@@ -111,9 +111,10 @@ def run_all(
     chosen = list(names) if names is not None else list(EXPERIMENTS)
     results: Dict[str, List[FigureResult]] = {}
     for name in chosen:
-        started = time.perf_counter()
+        # Reported per-experiment wall time for the progress echo only.
+        started = time.perf_counter()  # repro-lint: disable=RL007
         panels = run_experiment(name, profile)
-        elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started  # repro-lint: disable=RL007
         results[name] = panels
         if echo is not None:
             echo(f"== {name} ({elapsed:.1f}s) ==")
@@ -145,7 +146,8 @@ def build_experiments_markdown(
         f"profile), {profile.online_requests} requests per online run, "
         f"K = {profile.max_servers}.",
         "",
-        f"Generated: {datetime.date.today().isoformat()}",
+        # Human-facing report timestamp; not part of any figure series.
+        f"Generated: {datetime.date.today().isoformat()}",  # repro-lint: disable=RL007
         "",
         "## Claim verification",
         "",

@@ -41,6 +41,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list available experiments")
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the AST-based invariant linter (see docs/STATIC_ANALYSIS.md)",
+    )
+    from repro.lint.cli import build_parser as _build_lint_parser
+
+    _build_lint_parser(lint)
+
     demo = subparsers.add_parser(
         "demo", help="run a 30-second end-to-end demonstration"
     )
@@ -168,6 +176,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         print("all")
         return 0
+
+    if args.command == "lint":
+        from repro.lint.cli import run as run_lint
+
+        return run_lint(args)
 
     if args.command == "demo":
         _run_demo(args.size, args.seed)

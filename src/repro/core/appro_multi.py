@@ -127,6 +127,10 @@ def _search(
             if (
                 best is None
                 or solution.cost < best.cost
+                # Exact equality is intentional: the lowest-index tie-break
+                # must agree bit-for-bit with the seed engine; a tolerance
+                # would merge genuinely distinct costs and change figures.
+                # repro-lint: disable=RL004
                 or (solution.cost == best.cost and index < best_index)
             ):
                 best = solution

@@ -145,6 +145,10 @@ def build_context(
             cache, source, destinations, servers, chain_cost, bandwidth
         )
     scaled = scale_graph(graph, bandwidth)
+    # This is the *reference* (uncached) construction the differential
+    # harness diffs the cached engine against — it must keep running fresh
+    # Dijkstras on the materialized scaled copy, by definition.
+    # repro-lint: disable=RL001
     sp: Dict[Node, ShortestPathTree] = {source: dijkstra(scaled, source)}
     source_tree = sp[source]
 
@@ -153,7 +157,7 @@ def build_context(
             raise InfeasibleRequestError(
                 f"destination {destination!r} unreachable from {source!r}"
             )
-        sp[destination] = dijkstra(scaled, destination)
+        sp[destination] = dijkstra(scaled, destination)  # repro-lint: disable=RL001
 
     reachable_servers = tuple(
         v for v in servers if source_tree.reaches(v)
@@ -164,7 +168,7 @@ def build_context(
         )
     for server in reachable_servers:
         if server not in sp:
-            sp[server] = dijkstra(scaled, server)
+            sp[server] = dijkstra(scaled, server)  # repro-lint: disable=RL001
 
     virtual_weight = {
         v: source_tree.distance[v] + chain_cost[v] for v in reachable_servers

@@ -90,6 +90,9 @@ def delay_aware_multicast(
     scaled = scale_graph(network.graph, request.bandwidth)
     delays = network.delay_map()
     destinations = sorted(request.destinations, key=repr)
+    # One-shot search on the materialized b_k-scaled copy; the delay-aware
+    # extension pins its published series to the explicit construction.
+    # repro-lint: disable=RL001
     source_tree = dijkstra(scaled, request.source)
 
     best: Optional[Tuple[float, Node, List[Node], Dict[Node, List[Node]]]] = None

@@ -105,6 +105,9 @@ def optimal_single_server_cost(
     from repro.core.auxiliary import scale_graph
 
     scaled = scale_graph(network.graph, request.bandwidth)
+    # Exact reference oracle: fresh search on the materialized scaled copy,
+    # deliberately independent of the production cache it helps validate.
+    # repro-lint: disable=RL001
     source_tree = dijkstra(scaled, request.source)
     destinations = sorted(request.destinations, key=repr)
     best: Optional[Tuple[float, Node]] = None

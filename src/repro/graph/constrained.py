@@ -53,6 +53,9 @@ def _weighted_shortest(
         aggregated.add_node(node)
     for u, v, cost in graph.edges():
         aggregated.add_edge(u, v, cost + lam * delays[edge_key(u, v)])
+    # λ-aggregated weights change every LARAC iteration: a transient
+    # per-query graph no versioned cache could ever get a hit on.
+    # repro-lint: disable=RL001
     tree = dijkstra(aggregated, source, targets={target})
     return tree.path_to(target)
 
@@ -86,6 +89,8 @@ def larac_path(
         delay_graph.add_node(node)
     for u, v, _ in graph.edges():
         delay_graph.add_edge(u, v, delays[edge_key(u, v)])
+    # Same: one-shot feasibility probe on a throwaway delay-weighted graph.
+    # repro-lint: disable=RL001
     fastest = dijkstra(delay_graph, source, targets={target}).path_to(target)
     if path_delay(delays, fastest) > max_delay + 1e-12:
         raise DelayBoundInfeasibleError(

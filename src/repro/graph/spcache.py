@@ -45,6 +45,7 @@ from typing import (
     Mapping,
     Optional,
     Tuple,
+    Union,
 )
 
 from repro.graph.graph import Graph, Node
@@ -69,7 +70,9 @@ class ScaledDistances(Mapping):
     def __getitem__(self, node: Node) -> float:
         return self._base[node] * self._factor
 
-    def get(self, node: Node, default=None):
+    def get(
+        self, node: Node, default: Optional[float] = None
+    ) -> Optional[float]:
         value = self._base.get(node)
         if value is None:
             return default
@@ -266,7 +269,9 @@ class ShortestPathCache:
         self._trees[origin] = tree
         return tree
 
-    def scaled_tree(self, origin: Node, factor: float):
+    def scaled_tree(
+        self, origin: Node, factor: float
+    ) -> Union[ShortestPathTree, ScaledTree]:
         """Return the tree at ``origin`` with distances scaled by ``factor``.
 
         A factor of exactly 1.0 returns the unscaled tree itself.
@@ -276,7 +281,7 @@ class ShortestPathCache:
             return tree
         return ScaledTree(tree, factor)
 
-    def scaled_view(self, factor: float):
+    def scaled_view(self, factor: float) -> Union[Graph, ScaledGraphView]:
         """Return the bound graph with weights scaled by ``factor``."""
         if factor == 1.0:
             return self._graph

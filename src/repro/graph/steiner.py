@@ -64,6 +64,10 @@ def metric_closure(graph: Graph, terminals: Sequence[Node]) -> MetricClosure:
     trees: Dict[Node, ShortestPathTree] = {}
     for terminal in terminal_list:
         closure.add_node(terminal)
+        # Uncached KMB entry point for arbitrary one-shot graphs (the hot
+        # path uses kmb_steiner_tree_cached + ShortestPathCache instead);
+        # the targets= early exit computes partial trees a shared cache
+        # must never memoize.  # repro-lint: disable=RL001
         tree = dijkstra(graph, terminal, targets=set(terminal_set - {terminal}))
         trees[terminal] = tree
         for other in terminal_list:

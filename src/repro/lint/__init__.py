@@ -1,0 +1,46 @@
+"""``repro lint`` — AST-based invariant linter for the reproduction.
+
+The reproduction's correctness rests on cross-cutting conventions that no
+single unit test can see: every shortest-path query goes through the
+epoch-versioned :class:`~repro.graph.spcache.ShortestPathCache`, residual
+capacity is only mutated by the resource layer under
+:class:`~repro.network.allocation.AllocationTransaction` ownership, every
+topology/capacity mutation bumps the network epoch, and every stochastic
+component draws from an explicitly seeded RNG.  This package enforces those
+conventions *statically*, at CI time, instead of waiting for a 50-instance
+differential run to drift.
+
+Public surface:
+
+- :func:`lint_paths` / :func:`lint_source` — run all registered rules.
+- :data:`ALL_RULES` — the rule registry (RL001 … RL008).
+- :class:`Finding` — one violation: rule, path, line, message, hint.
+- :mod:`repro.lint.cli` — the ``repro lint`` subcommand implementation.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the suppression
+syntax (``# repro-lint: disable=RLxxx``).
+"""
+
+from repro.lint.baseline import (
+    filter_with_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.core import Finding, LintContext, Rule
+from repro.lint.rules import ALL_RULES, get_rule
+from repro.lint.runner import iter_python_files, lint_file, lint_paths, lint_source
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "filter_with_baseline",
+    "get_rule",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "write_baseline",
+]

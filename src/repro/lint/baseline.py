@@ -1,0 +1,80 @@
+"""Baseline files: adopt the linter on a codebase with pre-existing debt.
+
+A baseline is a JSON list of known findings.  ``repro lint --baseline
+PATH`` subtracts them from the current run, so CI can gate on *new*
+violations while the old ones are burned down; ``--write-baseline``
+(re)captures the current state.  Baseline entries are keyed on
+``(rule, path, message)`` — deliberately line-free, so unrelated edits that
+shift line numbers never churn the file.
+
+This repository ships with an **empty** baseline: every finding is either
+fixed or carries an inline justification (see ``docs/STATIC_ANALYSIS.md``).
+The machinery exists for downstream forks and for emergencies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Iterable, List, Set, Tuple
+
+from repro.lint.core import Finding
+
+_VERSION = 1
+
+BaselineKey = Tuple[str, str, str]
+
+
+def load_baseline(path: str) -> Set[BaselineKey]:
+    """Read a baseline file; a missing file means an empty baseline."""
+    if not os.path.exists(path):
+        return set()
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise ValueError(f"{path}: not a repro-lint baseline (version 1)")
+    keys: Set[BaselineKey] = set()
+    for entry in payload.get("findings", []):
+        keys.add((entry["rule"], entry["path"], entry["message"]))
+    return keys
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write the given findings as the new baseline; returns the count."""
+    entries = sorted(
+        {finding.baseline_key() for finding in findings}
+    )
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            {"rule": rule, "path": file_path, "message": message}
+            for rule, file_path, message in entries
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def filter_with_baseline(
+    findings: Iterable[Finding], baseline: Set[BaselineKey]
+) -> Tuple[List[Finding], List[BaselineKey]]:
+    """Split findings into (new, stale-baseline-entries).
+
+    A baseline entry matches any number of findings with its key (several
+    identical violations in one file collapse to one entry, like ruff's
+    ``--add-noqa`` behaviour).  Entries that match nothing are *stale* —
+    the debt was paid — and are reported so the baseline can be re-written.
+    """
+    matched: Counter = Counter()
+    new: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if key in baseline:
+            matched[key] += 1
+        else:
+            new.append(finding)
+    stale = sorted(key for key in baseline if key not in matched)
+    return new, stale

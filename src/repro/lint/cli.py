@@ -1,0 +1,135 @@
+"""The ``repro lint`` subcommand (also ``python -m repro.lint``).
+
+Exit codes: 0 clean (or only baselined findings), 1 new findings, 2 usage
+error.  ``--format json`` emits a machine-readable report for editors and
+the CI annotation step; ``--write-baseline`` adopts the current findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.lint.baseline import (
+    filter_with_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.rules import ALL_RULES
+from repro.lint.runner import lint_paths
+
+
+def build_parser(
+    parser: Optional[argparse.ArgumentParser] = None,
+) -> argparse.ArgumentParser:
+    """Configure the lint argument parser (reused by the repro CLI)."""
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="repro lint",
+            description="AST-based invariant linter for the repro package.",
+        )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline file: subtract known findings (check mode)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        if args.output_format == "json":
+            print(json.dumps(
+                [
+                    {
+                        "id": rule.id,
+                        "name": rule.name,
+                        "rationale": rule.rationale,
+                        "hint": rule.hint,
+                    }
+                    for rule in ALL_RULES
+                ],
+                indent=2,
+            ))
+        else:
+            for rule in ALL_RULES:
+                print(f"{rule.id} {rule.name}")
+                print(f"    {rule.rationale}")
+        return 0
+
+    if args.write_baseline and not args.baseline:
+        print("error: --write-baseline requires --baseline PATH", file=sys.stderr)
+        return 2
+
+    findings = lint_paths(args.paths)
+
+    if args.write_baseline:
+        count = write_baseline(args.baseline, findings)
+        print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
+              f"to {args.baseline}")
+        return 0
+
+    stale: List = []
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings, stale = filter_with_baseline(findings, baseline)
+
+    if args.output_format == "json":
+        print(json.dumps(
+            {
+                "findings": [finding.to_dict() for finding in findings],
+                "stale_baseline_entries": [list(key) for key in stale],
+            },
+            indent=2,
+        ))
+    else:
+        for finding in findings:
+            print(finding.format())
+        for rule, path, message in stale:
+            print(
+                f"note: stale baseline entry {rule} for {path} "
+                f"({message!r}) — rewrite the baseline",
+            )
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"repro lint: {len(findings)} {noun}")
+    return 1 if findings else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    return run(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

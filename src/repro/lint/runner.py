@@ -1,0 +1,92 @@
+"""Drive the rules over sources, files, and directory trees."""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.core import Finding, LintContext, LintVisitor, Rule
+from repro.lint.rules import ALL_RULES
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one source string as if it lived at ``path``.
+
+    The path determines rule scoping (see
+    :func:`repro.lint.core.module_key`), so fixtures can impersonate any
+    module: ``lint_source(snippet, "src/repro/core/foo.py")``.
+
+    Raises:
+        SyntaxError: if the source does not parse (callers decide whether a
+            syntax error is a lint failure; the CLI reports it as one).
+    """
+    tree = ast.parse(source, filename=path)
+    ctx = LintContext(path=path, source=source, tree=tree)
+    if not ctx.module:
+        # Tests, benchmarks, and scripts deliberately break the library's
+        # invariants; only files inside the repro package are linted.
+        return []
+    visitor = LintVisitor(ALL_RULES if rules is None else rules, ctx)
+    findings = visitor.run()
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(
+    path: str, rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint one file on disk."""
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path=path, rules=rules)
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d not in ("__pycache__", ".git") and not d.endswith(".egg-info")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(root, name))
+        else:
+            found.append(path)
+    return sorted(dict.fromkeys(found))
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint every ``.py`` file under the given files/directories.
+
+    A file that fails to parse contributes a single synthetic ``RL000``
+    finding rather than aborting the run, so one broken file cannot hide
+    violations elsewhere.
+    """
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            findings.extend(lint_file(path, rules=rules))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule="RL000",
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                    hint="fix the syntax error first",
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

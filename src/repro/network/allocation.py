@@ -17,7 +17,8 @@ pattern, also usable as a context manager::
 
 from __future__ import annotations
 
-from typing import Hashable, List, Tuple
+from types import TracebackType
+from typing import Hashable, List, Optional, Tuple, Type
 
 from repro.exceptions import AllocationError
 from repro.network.sdn import SDNetwork
@@ -113,7 +114,12 @@ class AllocationTransaction:
     def __enter__(self) -> "AllocationTransaction":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         if not self._committed and not self._rolled_back:
             self.rollback()
         return False  # never swallow exceptions

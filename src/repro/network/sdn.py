@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import (
     EdgeNotFoundError,
@@ -145,7 +145,7 @@ class SDNetwork:
         """All link delays keyed by canonical edge, for the path solvers."""
         return {key: state.delay for key, state in self._links.items()}
 
-    def path_delay(self, path) -> float:
+    def path_delay(self, path: Sequence[Node]) -> float:
         """Total propagation delay along a node path."""
         return sum(
             self.link(u, v).delay for u, v in zip(path, path[1:])
@@ -224,6 +224,37 @@ class SDNetwork:
             self._epoch,
             lambda: self.residual_graph(min_bandwidth),
         )
+
+    def unit_path_cache(self, min_bandwidth: float) -> ShortestPathCache:
+        """Dijkstra-tree cache over the *hop-count* residual subgraph.
+
+        The ``SP`` baseline routes on ``residual_graph(min_bandwidth)``
+        with every surviving link reweighted to 1 (fewest hops, load
+        oblivious).  Like :meth:`residual_path_cache` this is keyed on the
+        current epoch, so consecutive requests that do not mutate resources
+        (rejections) share the same trees and a mutation can never leak a
+        stale hop-count path.
+        """
+        return self._path_caches.get(
+            ("unit", min_bandwidth),
+            self._epoch,
+            lambda: self._unit_residual_graph(min_bandwidth),
+        )
+
+    def _unit_residual_graph(self, min_bandwidth: float) -> Graph:
+        """Materialize ``residual_graph(min_bandwidth)`` with weight-1 links.
+
+        Node and edge insertion order mirror the residual graph exactly so
+        Dijkstra tie-breaking — and therefore every figure series — is
+        bit-identical to building the graph at the call site.
+        """
+        residual = self.residual_graph(min_bandwidth)
+        unit = Graph()
+        for node in residual.nodes():
+            unit.add_node(node)
+        for u, v, _ in residual.edges():
+            unit.add_edge(u, v, 1.0)
+        return unit
 
     # ------------------------------------------------------------------
     # resource mutation

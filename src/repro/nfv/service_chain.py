@@ -46,7 +46,9 @@ class ServiceChain:
         try:
             functions = tuple(FUNCTION_CATALOGUE[kind] for kind in kinds)
         except KeyError as exc:
-            raise ServiceChainError(f"unknown function type {exc.args[0]!r}")
+            raise ServiceChainError(
+                f"unknown function type {exc.args[0]!r}"
+            ) from exc
         return cls(functions=functions)
 
     @property

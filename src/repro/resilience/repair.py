@@ -401,6 +401,10 @@ class SubtreeGraft(RepairStrategy):
                 return None
             # Search outward from the orphan: the undirected shortest path
             # to the nearest already-served node, reversed, is the graft.
+            # targets= early exit on a mid-repair residual snapshot: the
+            # epoch is about to be bumped by the graft's re-allocations, so
+            # a versioned cache entry would be built and thrown away.
+            # repro-lint: disable=RL001
             sp = dijkstra(residual, orphan, targets=set(
                 node for node in reachable if residual.has_node(node)
             ))

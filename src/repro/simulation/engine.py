@@ -20,6 +20,11 @@ With an empty failure schedule it reproduces
 
 from __future__ import annotations
 
+# The engines read time.perf_counter() to *report* per-request solver
+# runtime as a figure metric (Figs. 6/8 running-time panels); the value is
+# never a control input, so determinism is unaffected.
+# repro-lint: disable-file=RL007
+
 import time
 from typing import Callable, Iterable, Optional, Sequence
 

@@ -1,0 +1,106 @@
+"""CLI round-trips for ``repro lint`` (text, JSON, baseline modes)."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+DIRTY = textwrap.dedent(
+    """
+    import random
+
+    def f():
+        return random.random()
+    """
+)
+CLEAN = textwrap.dedent(
+    """
+    import random
+
+    def f(seed):
+        return random.Random(seed).random()
+    """
+)
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    """A tmp tree whose path impersonates a repro module."""
+    package = tmp_path / "src" / "repro" / "core"
+    package.mkdir(parents=True)
+    (package / "dirty.py").write_text(DIRTY)
+    return tmp_path / "src"
+
+
+class TestLintCli:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        package = tmp_path / "src" / "repro" / "core"
+        package.mkdir(parents=True)
+        (package / "clean.py").write_text(CLEAN)
+        assert main(["lint", str(tmp_path / "src")]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_dirty_run_exits_one_with_location(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "RL003" in out
+        assert "dirty.py:5:" in out
+
+    def test_json_format_round_trips(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stale_baseline_entries"] == []
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "RL003"
+        assert finding["path"].endswith("dirty.py")
+        assert finding["line"] == 5
+        assert "random.random()" in finding["message"]
+        assert finding["hint"]
+
+    def test_baseline_write_then_check(self, dirty_tree, tmp_path, capsys):
+        baseline = tmp_path / "lint-baseline.json"
+        assert main([
+            "lint", str(dirty_tree),
+            "--baseline", str(baseline), "--write-baseline",
+        ]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        # with the baseline applied the same tree now gates green
+        assert main(["lint", str(dirty_tree), "--baseline", str(baseline)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_stale_baseline_entries_are_reported(self, dirty_tree, tmp_path, capsys):
+        baseline = tmp_path / "lint-baseline.json"
+        assert main([
+            "lint", str(dirty_tree),
+            "--baseline", str(baseline), "--write-baseline",
+        ]) == 0
+        dirty_file = dirty_tree / "repro" / "core" / "dirty.py"
+        dirty_file.write_text(CLEAN)
+        capsys.readouterr()
+        assert main(["lint", str(dirty_tree), "--baseline", str(baseline)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_write_baseline_requires_path(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree), "--write-baseline"]) == 2
+        assert "--write-baseline requires" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in [f"RL00{i}" for i in range(1, 9)]:
+            assert rule_id in out
+
+    def test_syntax_error_is_a_finding(self, tmp_path, capsys):
+        package = tmp_path / "src" / "repro" / "core"
+        package.mkdir(parents=True)
+        (package / "broken.py").write_text("def f(:\n")
+        assert main(["lint", str(tmp_path / "src")]) == 1
+        assert "RL000" in capsys.readouterr().out
+
+    def test_module_entry_point(self, dirty_tree):
+        from repro.lint.cli import main as lint_main
+
+        assert lint_main([str(dirty_tree)]) == 1

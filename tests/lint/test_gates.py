@@ -1,0 +1,45 @@
+"""The external gates (ruff, mypy) as tests — skipped where not installed.
+
+The container image does not ship ruff/mypy; CI installs them (see the
+``lint`` job in ``.github/workflows/ci.yml``).  Running them through pytest
+too means one local ``pip install ruff mypy`` reproduces the CI gate
+exactly.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+#: The strict-typed core: blocking in CI, see [tool.mypy.overrides].
+MYPY_STRICT_FILES = [
+    "src/repro/graph/spcache.py",
+    "src/repro/network/allocation.py",
+    "src/repro/network/sdn.py",
+]
+
+
+def _run(args):
+    return subprocess.run(
+        args,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_gate_is_green():
+    result = _run(["ruff", "check", "src", "tests", "benchmarks", "examples"])
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_strict_core_is_green():
+    result = _run([sys.executable, "-m", "mypy", *MYPY_STRICT_FILES])
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -165,3 +165,43 @@ class TestConstructionValidation:
         servers = {"ghost": next(iter(reference.servers()))}
         with pytest.raises(NetworkModelError):
             SDNetwork(graph=reference.graph, links=links, servers=servers)
+
+
+class TestUnitPathCache:
+    """The hop-count cache behind the SP baseline (PR 4, RL001 fix)."""
+
+    def test_trees_match_fresh_dijkstra_on_explicit_unit_graph(self, small_network):
+        from repro.graph.graph import Graph
+        from repro.graph.shortest_paths import dijkstra
+
+        bandwidth = 100.0
+        residual = small_network.residual_graph(bandwidth)
+        unit = Graph()
+        for node in residual.nodes():
+            unit.add_node(node)
+        for u, v, _ in residual.edges():
+            unit.add_edge(u, v, 1.0)
+        source = sorted(small_network.graph.nodes(), key=repr)[0]
+        expected = dijkstra(unit, source)
+        cached = small_network.unit_path_cache(bandwidth).tree(source)
+        assert cached.distance == expected.distance
+        assert cached.parent == expected.parent
+
+    def test_every_cached_weight_is_one(self, small_network):
+        cache = small_network.unit_path_cache(0.0)
+        assert all(w == 1.0 for _, _, w in cache.graph.edges())
+
+    def test_same_epoch_reuses_the_cache_object(self, small_network):
+        first = small_network.unit_path_cache(100.0)
+        assert small_network.unit_path_cache(100.0) is first
+
+    def test_mutation_invalidates(self, small_network):
+        before = small_network.unit_path_cache(100.0)
+        u, v, _ = next(iter(small_network.graph.edges()))
+        small_network.allocate_bandwidth(u, v, 1.0)
+        assert small_network.unit_path_cache(100.0) is not before
+
+    def test_exhausted_links_disappear(self, small_network):
+        u, v, _ = next(iter(small_network.graph.edges()))
+        small_network.allocate_bandwidth(u, v, small_network.link(u, v).capacity)
+        assert not small_network.unit_path_cache(1.0).graph.has_edge(u, v)
