@@ -7,7 +7,9 @@ Examples::
     python -m repro.cli all --profile paper --output EXPERIMENTS.md
     python -m repro.cli fig5 --profile --metrics-out metrics.json
     python -m repro.cli bench
+    python -m repro.cli bench --target csr --quick
     python -m repro.cli demo
+    python -m repro.cli fig5 --graph-backend dict
 """
 
 from __future__ import annotations
@@ -49,28 +51,59 @@ def _build_parser() -> argparse.ArgumentParser:
 
     _build_lint_parser(lint)
 
+    def _add_graph_backend(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--graph-backend",
+            choices=("dict", "csr"),
+            default=None,
+            metavar="NAME",
+            help=(
+                "shortest-path engine: 'csr' (default; compiled adjacency) "
+                "or 'dict' (reference engine); overrides the "
+                "REPRO_GRAPH_BACKEND env var, results are identical"
+            ),
+        )
+
     demo = subparsers.add_parser(
         "demo", help="run a 30-second end-to-end demonstration"
     )
     demo.add_argument("--size", type=int, default=50, help="network size")
     demo.add_argument("--seed", type=int, default=7, help="RNG seed")
+    _add_graph_backend(demo)
 
     bench = subparsers.add_parser(
         "bench",
-        help="GEANT telemetry micro-benchmark (writes BENCH_obs.json)",
+        help="micro-benchmarks (telemetry overhead, spcache, CSR engine)",
+    )
+    bench.add_argument(
+        "--target",
+        choices=("obs", "spcache", "csr"),
+        default="obs",
+        help=(
+            "what to measure: 'obs' telemetry overhead (default), "
+            "'spcache' cached vs uncached solver, 'csr' compiled vs dict "
+            "Dijkstra engine"
+        ),
     )
     bench.add_argument(
         "--output",
-        default="BENCH_obs.json",
-        help="artifact path (default: BENCH_obs.json)",
+        default=None,
+        help="artifact path (default: BENCH_<target>.json)",
     )
     bench.add_argument(
-        "--requests", type=int, default=40, help="batch size (default 40)"
+        "--requests", type=int, default=40,
+        help="batch size for obs/spcache targets (default 40)",
     )
     bench.add_argument(
-        "--rounds", type=int, default=3,
-        help="timing rounds for the disabled baseline (default 3)",
+        "--rounds", type=int, default=None,
+        help="timing rounds (default: 3, or 7 for --target csr)",
     )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workloads for CI smoke runs (noisier numbers)",
+    )
+    _add_graph_backend(bench)
 
     for name in list(EXPERIMENTS) + ["all"]:
         sub = subparsers.add_parser(
@@ -127,6 +160,7 @@ def _build_parser() -> argparse.ArgumentParser:
                 "identical for every value"
             ),
         )
+        _add_graph_backend(sub)
     return parser
 
 
@@ -182,21 +216,44 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         return run_lint(args)
 
+    if getattr(args, "graph_backend", None) is not None:
+        from repro.graph import set_graph_backend
+
+        set_graph_backend(args.graph_backend)
+
     if args.command == "demo":
         _run_demo(args.size, args.seed)
         return 0
 
     if args.command == "bench":
-        from repro.obs.bench import render_bench_summary, run_obs_benchmark
+        from repro.obs import bench
 
-        payload = run_obs_benchmark(
-            output_path=args.output,
-            requests=args.requests,
-            rounds=args.rounds,
-        )
-        for line in render_bench_summary(payload):
+        output = args.output or f"BENCH_{args.target}.json"
+        if args.target == "obs":
+            payload = bench.run_obs_benchmark(
+                output_path=output,
+                requests=args.requests,
+                rounds=args.rounds or bench.DEFAULT_ROUNDS,
+            )
+            lines = bench.render_bench_summary(payload)
+        elif args.target == "spcache":
+            payload = bench.run_spcache_benchmark(
+                output_path=output,
+                requests=args.requests,
+                rounds=args.rounds or bench.DEFAULT_ROUNDS,
+                quick=args.quick,
+            )
+            lines = bench.render_speedup_summary(payload)
+        else:
+            payload = bench.run_csr_benchmark(
+                output_path=output,
+                rounds=args.rounds or bench.DEFAULT_CSR_ROUNDS,
+                quick=args.quick,
+            )
+            lines = bench.render_speedup_summary(payload)
+        for line in lines:
             print(line)
-        print(f"wrote {args.output}")
+        print(f"wrote {output}")
         return 0
 
     if getattr(args, "workers", None) is not None:

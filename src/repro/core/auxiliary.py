@@ -213,7 +213,6 @@ def _build_context_cached(
             raise InfeasibleRequestError(
                 f"destination {destination!r} unreachable from {source!r}"
             )
-        sp[destination] = cache.scaled_tree(destination, bandwidth)
 
     reachable_servers = tuple(
         v for v in servers if source_tree.reaches(v)
@@ -222,6 +221,15 @@ def _build_context_cached(
         raise InfeasibleRequestError(
             f"no server reachable from source {source!r}"
         )
+
+    # Feasibility established: fill every miss in one batched sweep (a
+    # dijkstra_many over the cache's compiled view under the CSR backend),
+    # then wrap the now-cached unit trees.  The trees are the ones the
+    # per-origin pulls below would have computed lazily — warming moves
+    # work, it never changes a result.
+    cache.warm(list(destinations) + list(reachable_servers))
+    for destination in destinations:
+        sp[destination] = cache.scaled_tree(destination, bandwidth)
     for server in reachable_servers:
         if server not in sp:
             sp[server] = cache.scaled_tree(server, bandwidth)

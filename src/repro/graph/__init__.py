@@ -7,6 +7,7 @@ trees with LCA, and connectivity utilities — implemented on a lightweight
 adjacency-list :class:`Graph` with no third-party dependencies.
 """
 
+from repro.graph.backend import graph_backend, set_graph_backend
 from repro.graph.constrained import (
     DelayBoundInfeasibleError,
     exact_constrained_path,
@@ -22,6 +23,12 @@ from repro.graph.components import (
     connected_components,
     is_connected,
     same_component,
+)
+from repro.graph.csr import (
+    CSRGraph,
+    compile_csr,
+    dijkstra_csr,
+    dijkstra_many,
 )
 from repro.graph.exact_steiner import dreyfus_wagner, steiner_cost_exact
 from repro.graph.graph import Graph, edge_key, edges_of_path, path_weight
@@ -63,6 +70,7 @@ from repro.graph.unionfind import DisjointSet
 
 __all__ = [
     "Graph",
+    "CSRGraph",
     "IndexedHeap",
     "DisjointSet",
     "ShortestPathTree",
@@ -89,6 +97,11 @@ __all__ = [
     "ScaledTree",
     "ShortestPathCache",
     "VersionedCacheRegistry",
+    "graph_backend",
+    "set_graph_backend",
+    "compile_csr",
+    "dijkstra_csr",
+    "dijkstra_many",
     "dijkstra",
     "shortest_path",
     "shortest_path_length",

@@ -1,0 +1,76 @@
+"""Process-wide selection of the shortest-path engine backend.
+
+Two engines produce :class:`~repro.graph.shortest_paths.ShortestPathTree`
+results:
+
+- ``"dict"`` — the original hash-based Dijkstra over the dict-of-dict
+  adjacency (:func:`repro.graph.shortest_paths.dijkstra`);
+- ``"csr"`` — the flat integer-indexed kernel over a compiled CSR view
+  (:mod:`repro.graph.csr`), the default.
+
+Both are **bit-identical**: the CSR kernel replicates the ``IndexedHeap``
+comparison order exactly, so every distance, parent pointer, and even the
+dict insertion order of the decoded trees match the dict engine (the
+differential harness and ``tests/graph/test_csr.py`` hold this).  The
+selector therefore only changes speed, never results.
+
+Resolution order:
+
+1. an explicit :func:`set_graph_backend` call (the ``--graph-backend`` CLI
+   flag routes here);
+2. the ``REPRO_GRAPH_BACKEND`` environment variable;
+3. the default, ``"csr"``.
+
+:func:`set_graph_backend` also writes the environment variable so worker
+processes spawned by the parallel experiment runner inherit the choice —
+results are backend-independent anyway, but keeping the fleet on one
+backend makes telemetry comparable across workers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Environment variable consulted when no explicit override is set.
+ENV_VAR = "REPRO_GRAPH_BACKEND"
+
+#: Recognized backend names.
+BACKENDS = ("dict", "csr")
+
+DEFAULT_BACKEND = "csr"
+
+_override: Optional[str] = None
+
+
+def _validate(name: str) -> str:
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown graph backend {name!r}; expected one of {BACKENDS}"
+        )
+    return name
+
+
+def graph_backend() -> str:
+    """Return the active backend name (``"dict"`` or ``"csr"``)."""
+    if _override is not None:
+        return _override
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return _validate(env)
+    return DEFAULT_BACKEND
+
+
+def set_graph_backend(name: Optional[str]) -> None:
+    """Set (or with ``None``, clear) the process-wide backend override.
+
+    The choice is mirrored into ``os.environ[REPRO_GRAPH_BACKEND]`` so
+    subprocess pools started afterwards resolve the same backend.
+    """
+    global _override
+    if name is None:
+        _override = None
+        os.environ.pop(ENV_VAR, None)
+        return
+    _override = _validate(name)
+    os.environ[ENV_VAR] = _override

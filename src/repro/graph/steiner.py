@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.exceptions import DisconnectedGraphError, NodeNotFoundError
+from repro.graph.backend import graph_backend
+from repro.graph.csr import compile_csr, dijkstra_many
 from repro.graph.graph import Graph, Node
 from repro.graph.mst import kruskal_mst, prim_mst
 from repro.graph.shortest_paths import ShortestPathTree, dijkstra
@@ -60,16 +62,28 @@ def metric_closure(graph: Graph, terminals: Sequence[Node]) -> MetricClosure:
             raise NodeNotFoundError(terminal)
 
     terminal_set = set(terminal_list)
+    trees: Dict[Node, ShortestPathTree]
+    if graph_backend() == "csr":
+        # Batched sweep over one compiled view: each source discards itself
+        # the moment it pops, so passing the full terminal set is exactly
+        # the per-source ``terminal_set - {terminal}`` early exit.  Uncached
+        # one-shot entry point, same justification as the dict branch
+        # below.  # repro-lint: disable=RL001
+        trees = dijkstra_many(compile_csr(graph), terminal_list, targets=terminal_set)
+    else:
+        trees = {}
+        for terminal in terminal_list:
+            # Uncached KMB entry point for arbitrary one-shot graphs (the
+            # hot path uses kmb_steiner_tree_cached + ShortestPathCache
+            # instead); the targets= early exit computes partial trees a
+            # shared cache must never memoize.  # repro-lint: disable=RL001
+            trees[terminal] = dijkstra(
+                graph, terminal, targets=terminal_set - {terminal}
+            )
     closure = Graph()
-    trees: Dict[Node, ShortestPathTree] = {}
     for terminal in terminal_list:
         closure.add_node(terminal)
-        # Uncached KMB entry point for arbitrary one-shot graphs (the hot
-        # path uses kmb_steiner_tree_cached + ShortestPathCache instead);
-        # the targets= early exit computes partial trees a shared cache
-        # must never memoize.  # repro-lint: disable=RL001
-        tree = dijkstra(graph, terminal, targets=set(terminal_set - {terminal}))
-        trees[terminal] = tree
+        tree = trees[terminal]
         for other in terminal_list:
             if other == terminal:
                 continue

@@ -21,7 +21,12 @@ from repro.lint.core import LintContext, Rule
 # ----------------------------------------------------------------------
 
 #: The shortest-path primitives and every module they are re-exported from.
-_SP_MODULES = ("repro.graph.shortest_paths", "repro.graph", "repro")
+_SP_MODULES = (
+    "repro.graph.shortest_paths",
+    "repro.graph.csr",
+    "repro.graph",
+    "repro",
+)
 _SP_FUNCTIONS = frozenset(
     {
         "dijkstra",
@@ -29,6 +34,8 @@ _SP_FUNCTIONS = frozenset(
         "shortest_path_length",
         "single_source_distances",
         "all_pairs_shortest_paths",
+        "dijkstra_csr",
+        "dijkstra_many",
     }
 )
 _SP_QUALIFIED = frozenset(
@@ -52,7 +59,11 @@ class UncachedShortestPath(Rule):
         "one-shot searches on transient graphs"
     )
     node_types = (ast.Call,)
-    _allowed = ("repro/graph/spcache.py", "repro/graph/shortest_paths.py")
+    _allowed = (
+        "repro/graph/spcache.py",
+        "repro/graph/shortest_paths.py",
+        "repro/graph/csr.py",
+    )
 
     def applies_to(self, ctx: LintContext) -> bool:
         return not ctx.in_module(*self._allowed)

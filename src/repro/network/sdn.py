@@ -206,6 +206,11 @@ class SDNetwork:
         construction, so these trees stay valid across requests, epochs,
         and bandwidths — distances for a request are obtained by scaling
         lazily with ``b_k`` (see :mod:`repro.graph.spcache`).
+
+        Under the default ``csr`` backend the cache compiles the topology
+        into a :class:`~repro.graph.csr.CSRGraph` on the first miss and
+        reuses that compiled view for every subsequent fill — one compile
+        for the lifetime of the network, since this graph never changes.
         """
         if self._topology_cache is None:
             self._topology_cache = ShortestPathCache(self._graph)
@@ -234,6 +239,12 @@ class SDNetwork:
         current epoch, so consecutive requests that do not mutate resources
         (rejections) share the same trees and a mutation can never leak a
         stale hop-count path.
+
+        Backend note: each cache instance compiles its bound residual
+        subgraph to CSR at most once (on the first fill under the ``csr``
+        backend), and the epoch keying above retires that compiled view
+        together with the cache the moment resources mutate — the compile
+        is per (epoch, bandwidth), exactly like the subgraph itself.
         """
         return self._path_caches.get(
             ("unit", min_bandwidth),

@@ -1,0 +1,298 @@
+"""The CSR kernel's contract: bit-identical to the dict engine, or bust.
+
+Every test here compares :mod:`repro.graph.csr` against
+:func:`repro.graph.shortest_paths.dijkstra` — not against "close enough"
+but against **exact equality including dict insertion order**, because the
+solvers' tie-breaking (which parent a node gets among equal-cost paths,
+which combination an enumeration visits first) rides on that order.  The
+hypothesis strategies deliberately draw tie-heavy weights so equal-priority
+heap traffic — where a non-replica heap would diverge — is the common case,
+not the rare one.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph import (
+    Graph,
+    ShortestPathCache,
+    compile_csr,
+    dijkstra,
+    dijkstra_csr,
+    dijkstra_many,
+    graph_backend,
+    set_graph_backend,
+)
+from repro.graph.backend import ENV_VAR
+
+
+@st.composite
+def weighted_graphs(draw, min_nodes=2, max_nodes=14, tie_heavy=False):
+    """A connected weighted graph: random spanning tree + random extras.
+
+    With ``tie_heavy`` the weights come from ``{1.0, 2.0}``, which makes
+    equal-cost paths (and equal-priority heap entries) ubiquitous.
+    """
+    n = draw(st.integers(min_nodes, max_nodes))
+    if tie_heavy:
+        weights = st.sampled_from([1.0, 1.0, 2.0])
+    else:
+        weights = st.floats(0.1, 50.0, allow_nan=False, allow_infinity=False)
+    graph = Graph()
+    graph.add_node(0)
+    for node in range(1, n):
+        anchor = draw(st.integers(0, node - 1))
+        graph.add_edge(node, anchor, draw(weights))
+    extra = draw(st.integers(0, 2 * n))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            graph.add_edge(u, v, draw(weights))
+    return graph
+
+
+def assert_trees_identical(expected, actual):
+    """Equal values AND equal dict insertion order, per the contract."""
+    assert expected.source == actual.source
+    assert expected.distance == actual.distance
+    assert list(expected.distance) == list(actual.distance)
+    assert expected.parent == actual.parent
+    assert list(expected.parent) == list(actual.parent)
+
+
+# ---------------------------------------------------------------------------
+# equivalence with the dict engine
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(weighted_graphs())
+def test_full_search_matches_dict_engine(graph):
+    csr = compile_csr(graph)
+    for source in graph.nodes():
+        assert_trees_identical(dijkstra(graph, source), dijkstra_csr(csr, source))
+
+
+@settings(max_examples=60, deadline=None)
+@given(weighted_graphs(tie_heavy=True))
+def test_tie_heavy_search_matches_dict_engine_exactly(graph):
+    """Equal-priority pops resolve identically — the heap is a replica."""
+    csr = compile_csr(graph)
+    for source in graph.nodes():
+        assert_trees_identical(dijkstra(graph, source), dijkstra_csr(csr, source))
+
+
+@settings(max_examples=40, deadline=None)
+@given(weighted_graphs(tie_heavy=True), st.data())
+def test_targeted_search_matches_dict_engine(graph, data):
+    nodes = list(graph.nodes())
+    source = data.draw(st.sampled_from(nodes))
+    targets = set(data.draw(st.lists(st.sampled_from(nodes), max_size=5)))
+    csr = compile_csr(graph)
+    assert_trees_identical(
+        dijkstra(graph, source, targets=targets),
+        dijkstra_csr(csr, source, targets=targets),
+    )
+
+
+def _ladder():
+    """A small fixed graph with ties, handy for the edge-case tests."""
+    graph = Graph()
+    for u, v in [(0, 1), (1, 2), (2, 3), (0, 2), (1, 3)]:
+        graph.add_edge(u, v, 1.0)
+    return graph
+
+
+def test_targets_edge_cases_match_dict_engine():
+    graph = _ladder()
+    csr = compile_csr(graph)
+    cases = [
+        set(),  # stops after the source settles
+        {0},  # source is its own target
+        {3, "ghost"},  # unknown target disables the early exit
+        {"ghost"},  # only unknown targets: full component settle
+    ]
+    for targets in cases:
+        assert_trees_identical(
+            dijkstra(graph, 0, targets=targets),
+            dijkstra_csr(csr, 0, targets=set(targets)),
+        )
+
+
+def test_consecutive_searches_share_one_workspace():
+    """Back-to-back runs on one view must not contaminate each other."""
+    graph = _ladder()
+    csr = compile_csr(graph)
+    first = [dijkstra_csr(csr, source) for source in graph.nodes()]
+    second = [dijkstra_csr(csr, source) for source in graph.nodes()]
+    for a, b in zip(first, second):
+        assert_trees_identical(a, b)
+    # and a targeted (early-exit) run in between leaves no residue either
+    dijkstra_csr(csr, 0, targets={1})
+    assert_trees_identical(first[2], dijkstra_csr(csr, 2))
+
+
+# ---------------------------------------------------------------------------
+# dijkstra_many
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(weighted_graphs(tie_heavy=True))
+def test_batch_equals_individual_runs(graph):
+    csr = compile_csr(graph)
+    sources = list(graph.nodes())
+    batch = dijkstra_many(csr, sources)
+    assert list(batch) == sources  # result dict is in sources order
+    for source in sources:
+        assert_trees_identical(dijkstra_csr(csr, source), batch[source])
+
+
+def test_batch_collapses_duplicate_sources():
+    graph = _ladder()
+    csr = compile_csr(graph)
+    batch = dijkstra_many(csr, [1, 0, 1, 0])
+    assert list(batch) == [1, 0]
+    assert_trees_identical(dijkstra_csr(csr, 1), batch[1])
+
+
+def test_batch_with_terminal_set_matches_metric_closure_pattern():
+    """``targets=full set`` equals per-source ``set - {source}`` early exit."""
+    graph = _ladder()
+    csr = compile_csr(graph)
+    terminals = [0, 2, 3]
+    batch = dijkstra_many(csr, terminals, targets=set(terminals))
+    for terminal in terminals:
+        assert_trees_identical(
+            dijkstra(graph, terminal, targets=set(terminals) - {terminal}),
+            batch[terminal],
+        )
+
+
+# ---------------------------------------------------------------------------
+# compiled-view structure
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(weighted_graphs())
+def test_csr_structure_invariants(graph):
+    csr = compile_csr(graph, epoch=7)
+    n = len(list(graph.nodes()))
+    assert csr.num_nodes == n
+    assert csr.epoch == 7
+    assert len(csr.indptr) == n + 1
+    assert csr.indptr[0] == 0
+    assert list(csr.indptr) == sorted(csr.indptr)  # monotone
+    assert csr.indptr[-1] == len(csr.indices) == len(csr.weights)
+    # every undirected edge appears once per endpoint
+    assert csr.num_edges == sum(1 for _ in graph.edges())
+    # interning is insertion order, index is its inverse
+    assert csr.nodes == list(graph.nodes())
+    assert all(csr.nodes[i] == node for node, i in csr.index.items())
+
+
+def test_as_numpy_views_are_zero_copy():
+    numpy = pytest.importorskip("numpy")
+    graph = _ladder()
+    csr = compile_csr(graph)
+    indptr, indices, weights = csr.as_numpy()
+    assert indptr.dtype == numpy.int64
+    assert indices.dtype == numpy.int64
+    assert weights.dtype == numpy.float64
+    assert list(indptr) == list(csr.indptr)
+    assert weights.base is not None  # a view over the array, not a copy
+
+
+# ---------------------------------------------------------------------------
+# error paths
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_source_raises_node_not_found():
+    csr = compile_csr(_ladder())
+    with pytest.raises(NodeNotFoundError):
+        dijkstra_csr(csr, "ghost")
+
+
+@pytest.mark.parametrize("bad", [float("inf"), float("nan")])
+def test_compile_rejects_nonfinite_weights(bad):
+    graph = Graph()
+    graph.add_edge("a", "b", bad)
+    with pytest.raises(ValueError, match="finite non-negative"):
+        compile_csr(graph)
+
+
+def test_compile_rejects_negative_weights():
+    """``Graph`` rejects negatives itself, but ``compile_csr`` accepts any
+    object with the iteration surface — so it must check on its own."""
+
+    class NegativeView:
+        def nodes(self):
+            return iter(["a", "b"])
+
+        def neighbor_items(self, node):
+            other = "b" if node == "a" else "a"
+            return [(other, -1.0)]
+
+    with pytest.raises(ValueError, match="finite non-negative"):
+        compile_csr(NegativeView())
+
+
+# ---------------------------------------------------------------------------
+# backend selector
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def clean_backend():
+    """Snapshot and restore the override + env var around a test."""
+    saved_env = os.environ.get(ENV_VAR)
+    yield
+    if saved_env is None:
+        set_graph_backend(None)
+    else:
+        set_graph_backend(saved_env)
+
+
+def test_backend_defaults_to_csr(clean_backend):
+    set_graph_backend(None)
+    assert graph_backend() == "csr"
+
+
+def test_backend_env_var_and_override(clean_backend):
+    set_graph_backend(None)
+    os.environ[ENV_VAR] = "dict"
+    assert graph_backend() == "dict"
+    set_graph_backend("csr")  # explicit override beats the env var
+    assert graph_backend() == "csr"
+    assert os.environ[ENV_VAR] == "csr"  # mirrored for worker processes
+
+
+def test_backend_rejects_unknown_names(clean_backend):
+    set_graph_backend(None)  # the env-var path is only read with no override
+    with pytest.raises(ValueError, match="unknown graph backend"):
+        set_graph_backend("sparse")
+    os.environ[ENV_VAR] = "sparse"
+    with pytest.raises(ValueError, match="unknown graph backend"):
+        graph_backend()
+
+
+def test_cache_trees_identical_under_both_backends(clean_backend):
+    """The cache integration point returns identical trees per backend."""
+    from repro.analysis.common import build_real_network
+
+    graph = build_real_network("GEANT", 20170605).graph
+    set_graph_backend("dict")
+    dict_cache = ShortestPathCache(graph)
+    dict_trees = {origin: dict_cache.tree(origin) for origin in graph.nodes()}
+    set_graph_backend("csr")
+    csr_cache = ShortestPathCache(graph)
+    csr_cache.warm(graph.nodes())
+    for origin in graph.nodes():
+        assert_trees_identical(dict_trees[origin], csr_cache.tree(origin))

@@ -121,6 +121,19 @@ class TestKMBCached:
         with pytest.raises(DisconnectedGraphError):
             kmb_steiner_tree_cached(g, trees, ["a", "island"])
 
+    def test_missing_tree_raises_keyerror(self, triangle):
+        """A terminal without a cached Dijkstra tree is a caller bug."""
+        trees = {"a": dijkstra(triangle, "a")}
+        with pytest.raises(KeyError):
+            kmb_steiner_tree_cached(triangle, trees, ["a", "b"])
+
+    def test_duplicate_terminals_collapse_before_lookup(self, triangle):
+        # ["a", "a"] dedupes to one terminal, so the short-circuit path
+        # never consults the (empty) tree map.
+        tree = kmb_steiner_tree_cached(triangle, {}, ["a", "a"])
+        assert tree.num_nodes == 1
+        assert tree.has_node("a")
+
 
 class TestValidation:
     def test_detects_missing_terminal(self, triangle):

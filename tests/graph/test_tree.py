@@ -76,6 +76,46 @@ class TestPruneLeaves:
         pruned = prune_leaves(sample_tree, keep=keep)
         assert pruned.num_nodes == sample_tree.num_nodes
 
+    @staticmethod
+    def _prune_reference(tree, keep):
+        """The obvious fixpoint formulation: rescan for leaves until none.
+
+        Worst case quadratic (a path pruned from one end rescans every
+        round), which is why the shipped version keeps a work queue of
+        candidate leaves instead; this reference pins the semantics the
+        queue must reproduce.
+        """
+        protected = set(keep)
+        pruned = tree.copy()
+        while True:
+            doomed = [
+                node
+                for node in pruned.nodes()
+                if pruned.degree(node) <= 1 and node not in protected
+            ]
+            if not doomed:
+                return pruned
+            for leaf in doomed:
+                if pruned.has_node(leaf) and pruned.degree(leaf) <= 1:
+                    pruned.remove_node(leaf)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_queue_version_matches_rescan_reference(self, seed):
+        rng = random.Random(seed)
+        # random tree: each node attaches to a random earlier node
+        tree = Graph()
+        tree.add_node(0)
+        for node in range(1, 40):
+            tree.add_edge(node, rng.randrange(node), rng.uniform(0.1, 5.0))
+        keep = rng.sample(range(40), rng.randint(1, 8))
+        fast = prune_leaves(tree, keep)
+        slow = self._prune_reference(tree, keep)
+        assert sorted(fast.nodes()) == sorted(slow.nodes())
+        assert sorted(map(sorted, (e[:2] for e in fast.edges()))) == sorted(
+            map(sorted, (e[:2] for e in slow.edges()))
+        )
+        assert is_tree(fast)
+
 
 class TestRootedTree:
     def test_rejects_non_tree(self, triangle):

@@ -73,6 +73,31 @@ class TestRL001UncachedShortestPath:
         """
         assert lint(clean, "src/repro/core/foo.py") == []
 
+    CSR_TRIP = """
+        from repro.graph.csr import dijkstra_csr
+
+        def solve(csr, source):
+            return dijkstra_csr(csr, source)
+    """
+
+    def test_raw_csr_search_trips_outside_graph_modules(self):
+        findings = lint(self.CSR_TRIP, "src/repro/core/foo.py")
+        assert rule_ids(findings) == ["RL001"]
+        assert "dijkstra_csr" in findings[0].message
+
+    def test_batched_csr_search_trips_via_package_reexport(self):
+        via_reexport = """
+            from repro.graph import dijkstra_many
+
+            def sweep(csr, sources):
+                return dijkstra_many(csr, sources)
+        """
+        assert rule_ids(lint(via_reexport, "src/repro/core/foo.py")) == ["RL001"]
+
+    def test_csr_search_passes_inside_csr_and_spcache_modules(self):
+        assert lint(self.CSR_TRIP, "src/repro/graph/csr.py") == []
+        assert lint(self.CSR_TRIP, "src/repro/graph/spcache.py") == []
+
 
 class TestRL002ResidualWrite:
     TRIP = """

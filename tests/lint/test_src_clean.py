@@ -30,10 +30,13 @@ def test_suppression_census():
     for path in iter_python_files([SRC]):
         with open(path, encoding="utf-8") as handle:
             pragmas += handle.read().count("repro-lint: disable")
-    # Today: 17 working pragmas (RL001/RL004 line-level + the two RL007
-    # file-level ones in the simulation engine/trace) plus 4 syntax
-    # examples inside the lint package's own docstrings.
-    assert pragmas <= 21, (
+    # Today: 21 working pragmas (RL001/RL004 line-level — including the two
+    # RL001 ones on metric_closure's per-backend one-shot searches and the
+    # three RL001/RL004 ones on the CSR benchmark's raw-engine sweeps and
+    # bit-identity check — plus the two RL007 file-level ones in the
+    # simulation engine/trace) and 4 syntax examples inside the lint
+    # package's own docstrings.
+    assert pragmas <= 25, (
         f"{pragmas} suppression pragmas in src/ — if you added one with a "
         "written justification, raise this ceiling in the same commit"
     )
