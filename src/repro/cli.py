@@ -77,12 +77,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--target",
-        choices=("obs", "spcache", "csr"),
+        choices=("obs", "spcache", "csr", "appro"),
         default="obs",
         help=(
             "what to measure: 'obs' telemetry overhead (default), "
             "'spcache' cached vs uncached solver, 'csr' compiled vs dict "
-            "Dijkstra engine"
+            "Dijkstra engine, 'appro' end-to-end dict-path vs CSR-native "
+            "Appro_Multi (merges into BENCH_csr.json)"
         ),
     )
     bench.add_argument(
@@ -228,7 +229,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench":
         from repro.obs import bench
 
-        output = args.output or f"BENCH_{args.target}.json"
+        output = args.output or (
+            "BENCH_csr.json"
+            if args.target == "appro"
+            else f"BENCH_{args.target}.json"
+        )
         if args.target == "obs":
             payload = bench.run_obs_benchmark(
                 output_path=output,
@@ -241,6 +246,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 output_path=output,
                 requests=args.requests,
                 rounds=args.rounds or bench.DEFAULT_ROUNDS,
+                quick=args.quick,
+            )
+            lines = bench.render_speedup_summary(payload)
+        elif args.target == "appro":
+            payload = bench.run_appro_benchmark(
+                output_path=output,
+                requests=args.requests,
+                rounds=args.rounds or bench.DEFAULT_APPRO_ROUNDS,
                 quick=args.quick,
             )
             lines = bench.render_speedup_summary(payload)

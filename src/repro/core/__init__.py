@@ -27,6 +27,8 @@ from repro.core.appro_multi import (
 from repro.core.auxiliary import (
     VIRTUAL_SOURCE,
     AuxiliaryContext,
+    AuxiliaryCSR,
+    FlatContext,
     SubsetSolution,
     build_context,
     evaluate_combination,
@@ -45,7 +47,12 @@ from repro.core.delay_aware import (
     DelayAwareSolution,
     delay_aware_multicast,
 )
-from repro.core.fasteval import CombinationEvaluator
+from repro.core.fasteval import (
+    CombinationEvaluator,
+    CSRCombinationEvaluator,
+    CSRSubsetSolution,
+    make_evaluator,
+)
 from repro.core.exact import (
     optimal_auxiliary_cost,
     optimal_single_server_cost,
@@ -69,7 +76,12 @@ __all__ = [
     "appro_multi_detailed",
     "appro_multi_reference",
     "ApproMultiResult",
+    "AuxiliaryCSR",
     "CombinationEvaluator",
+    "CSRCombinationEvaluator",
+    "CSRSubsetSolution",
+    "FlatContext",
+    "make_evaluator",
     "DEFAULT_MAX_SERVERS",
     "OnlineCP",
     "OnlineCPK",

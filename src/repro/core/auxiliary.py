@@ -29,7 +29,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.exceptions import InfeasibleRequestError
+from repro.exceptions import EdgeNotFoundError, InfeasibleRequestError
+from repro.graph.backend import graph_backend
+from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph, Node
 from repro.graph.mst import kruskal_mst, prim_mst
 from repro.graph.shortest_paths import INFINITY, ShortestPathTree, dijkstra
@@ -67,6 +69,207 @@ def scale_graph(graph: Graph, factor: float) -> Graph:
     return scaled
 
 
+class AuxiliaryCSR:
+    """``G_k^i`` compiled into CSR form: substrate arrays + one virtual row.
+
+    The substrate block is the request's single epoch-stamped CSR
+    compilation (owned by the shortest-path cache — never recompiled per
+    combination), with weights read through the uniform ``b_k`` factor.
+    The virtual source ``s'_k`` is one extra appended row at index
+    ``num_nodes``; across the ``V_S^i`` combination sweep **only this row
+    (and the zero overrides on the source's incident edges) varies**, via
+    :meth:`set_combination` — everything else is shared by reference.
+    """
+
+    __slots__ = (
+        "csr",
+        "adjacency",
+        "factor",
+        "source_index",
+        "virtual_index",
+        "virtual_weight",
+        "members",
+        "zero",
+    )
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        factor: float,
+        source_index: int,
+        virtual_weight: Dict[int, float],
+    ) -> None:
+        self.csr = csr
+        #: Shared per-node ``(neighbor index, weight)`` rows (unit weights).
+        self.adjacency = csr.adjacency()
+        self.factor = factor
+        self.source_index = source_index
+        #: Index of the appended virtual-source row ``s'_k``.
+        self.virtual_index = csr.num_nodes
+        #: Scaled virtual-edge weight per *reachable* server index.
+        self.virtual_weight = virtual_weight
+        #: Current combination (server indices, combination order).
+        self.members: Tuple[int, ...] = ()
+        #: Current zero-edge servers (members adjacent to the source).
+        self.zero: frozenset = frozenset()
+
+    def set_combination(
+        self, members: Sequence[int], zero: Iterable[int]
+    ) -> None:
+        """Select the combination ``V_S^i``: swap only the virtual block."""
+        self.members = tuple(members)
+        self.zero = frozenset(zero)
+
+    def virtual_row(self) -> Tuple[Tuple[int, float], ...]:
+        """The current virtual-source edge block ``((server, weight), ...)``."""
+        virtual_weight = self.virtual_weight
+        return tuple((v, virtual_weight[v]) for v in self.members)
+
+    def weight(self, u: int, v: int) -> float:
+        """Auxiliary-graph weight of edge ``(u, v)`` under the combination.
+
+        Raises:
+            EdgeNotFoundError: if ``(u, v)`` is not an auxiliary edge.
+        """
+        virtual = self.virtual_index
+        virtual_weight = self.virtual_weight
+        if u == virtual or v == virtual:
+            other = v if u == virtual else u
+            if other in self.members:
+                return virtual_weight[other]
+            raise EdgeNotFoundError(u, v)
+        source = self.source_index
+        zero = self.zero
+        if (u == source and v in zero) or (v == source and u in zero):
+            return 0.0
+        for neighbor, unit in self.adjacency[u]:
+            if neighbor == v:
+                return unit * self.factor
+        raise EdgeNotFoundError(u, v)
+
+    def to_graph(self) -> Graph:
+        """Decode the current ``G_k^i`` into a dict :class:`Graph`.
+
+        For tests and debugging only (the solver core never materializes
+        the auxiliary graph); the result carries the same node set, edge
+        set, and weights as :func:`explicit_auxiliary_graph`.
+        """
+        nodes = self.csr.nodes
+        factor = self.factor
+        source = self.source_index
+        zero = self.zero
+        aux = Graph()
+        for node in nodes:
+            aux.add_node(node)
+        for u, row in enumerate(self.adjacency):
+            for v, unit in row:
+                if v < u:
+                    continue  # each undirected edge appears in both rows
+                if (u == source and v in zero) or (
+                    v == source and u in zero
+                ):
+                    aux.add_edge(nodes[u], nodes[v], 0.0)
+                else:
+                    aux.add_edge(nodes[u], nodes[v], unit * factor)
+        aux.add_node(VIRTUAL_SOURCE)
+        for v, weight in self.virtual_row():
+            aux.add_edge(VIRTUAL_SOURCE, nodes[v], weight)
+        return aux
+
+
+class FlatContext:
+    """Integer-id twin of :class:`AuxiliaryContext` (the CSR-native core).
+
+    Built once per request from the shortest-path cache's single
+    epoch-stamped CSR compilation.  Every field lives in the compiled
+    view's index space, so the combination sweep shares one set of
+    substrate arrays, Dijkstra distance/parent rows, and scratch buffers
+    across all ``Σ C(|V_S|, j)`` evaluations — the fast evaluator decodes
+    back to node objects only for the winning combination.
+    """
+
+    __slots__ = (
+        "csr",
+        "nodes",
+        "index",
+        "factor",
+        "source",
+        "destinations",
+        "dist_rows",
+        "parent_rows",
+        "virtual_weight",
+        "adjacent",
+        "aux",
+    )
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        factor: float,
+        source: int,
+        destinations: Tuple[int, ...],
+        dist_rows: Dict[int, List[float]],
+        parent_rows: Dict[int, List[int]],
+        virtual_weight: Dict[int, float],
+        adjacent: frozenset,
+    ) -> None:
+        self.csr = csr
+        self.nodes = csr.nodes
+        self.index = csr.index
+        #: The uniform ``b_k`` scaling factor (rows hold unit distances).
+        self.factor = factor
+        self.source = source
+        self.destinations = destinations
+        #: Unit-cost distance row per cached origin index.
+        self.dist_rows = dist_rows
+        #: Predecessor-index row per cached origin index (-1 = none).
+        self.parent_rows = parent_rows
+        #: Scaled virtual-edge weight per reachable server index.
+        self.virtual_weight = virtual_weight
+        #: Server indices with a physical edge to the source.
+        self.adjacent = adjacent
+        #: The CSR-form auxiliary graph sharing these arrays.
+        self.aux = AuxiliaryCSR(csr, factor, source, virtual_weight)
+
+
+def _build_flat_context(
+    cache: ShortestPathCache,
+    source: Node,
+    destinations: Tuple[Node, ...],
+    servers: Tuple[Node, ...],
+    virtual_weight: Dict[Node, float],
+    adjacent: frozenset,
+    bandwidth: float,
+) -> FlatContext:
+    """Project the cached context into the compiled view's index space.
+
+    The distance/parent rows are memoized views over the very trees the
+    dict-keyed context serves (see ``ShortestPathCache.flat_tree``), and
+    the virtual weights are the *same float objects* — flat and dict
+    evaluation can therefore never disagree, bit for bit.
+    """
+    csr = cache.compiled()
+    index = csr.index
+    dist_rows: Dict[int, List[float]] = {}
+    parent_rows: Dict[int, List[int]] = {}
+    for origin in (source,) + destinations + servers:
+        origin_idx = index[origin]
+        if origin_idx not in dist_rows:
+            dist_row, parent_row = cache.flat_tree(origin)
+            dist_rows[origin_idx] = dist_row
+            parent_rows[origin_idx] = parent_row
+    return FlatContext(
+        csr=csr,
+        factor=bandwidth,
+        source=index[source],
+        destinations=tuple(index[d] for d in destinations),
+        dist_rows=dist_rows,
+        parent_rows=parent_rows,
+        virtual_weight={index[v]: w for v, w in virtual_weight.items()},
+        adjacent=frozenset(index[v] for v in adjacent),
+    )
+
+
 @dataclass
 class AuxiliaryContext:
     """Everything shared by all server combinations of one request.
@@ -83,6 +286,8 @@ class AuxiliaryContext:
             (these trigger the zero-cost rule).
         sp: Dijkstra trees keyed by origin, covering the source, every
             destination, and every candidate server.
+        flat: the integer-id projection driving the CSR-native evaluator;
+            ``None`` under the dict backend (or uncached construction).
     """
 
     scaled: Graph
@@ -93,6 +298,7 @@ class AuxiliaryContext:
     virtual_weight: Dict[Node, float]
     adjacent_servers: frozenset
     sp: Dict[Node, ShortestPathTree] = field(repr=False)
+    flat: Optional[FlatContext] = field(default=None, repr=False)
 
     def distance(self, origin: Node, target: Node) -> float:
         """Unmodified scaled-graph distance from a cached origin."""
@@ -240,15 +446,32 @@ def _build_context_cached(
     adjacent = frozenset(
         v for v in reachable_servers if scaled.has_edge(source, v)
     )
+    unique_destinations = tuple(dict.fromkeys(destinations))
+    # Under the CSR backend, project the context into the compiled view's
+    # index space once; the whole combination sweep then runs on flat
+    # arrays (see fasteval.CSRCombinationEvaluator) and decodes only the
+    # winning tree.
+    flat: Optional[FlatContext] = None
+    if graph_backend() == "csr":
+        flat = _build_flat_context(
+            cache,
+            source,
+            unique_destinations,
+            reachable_servers,
+            virtual_weight,
+            adjacent,
+            bandwidth,
+        )
     return AuxiliaryContext(
         scaled=scaled,
         source=source,
-        destinations=tuple(dict.fromkeys(destinations)),
+        destinations=unique_destinations,
         candidate_servers=reachable_servers,
         chain_cost=dict(chain_cost),
         virtual_weight=virtual_weight,
         adjacent_servers=adjacent,
         sp=sp,
+        flat=flat,
     )
 
 

@@ -87,7 +87,7 @@ def delay_aware_multicast(
 
     from repro.core.auxiliary import scale_graph
 
-    scaled = scale_graph(network.graph, request.bandwidth)
+    scaled = scale_graph(network.graph, request.bandwidth)  # repro-lint: disable=RL001
     delays = network.delay_map()
     destinations = sorted(request.destinations, key=repr)
     # One-shot search on the materialized b_k-scaled copy; the delay-aware

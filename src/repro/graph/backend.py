@@ -14,6 +14,15 @@ dict insertion order of the decoded trees match the dict engine (the
 differential harness and ``tests/graph/test_csr.py`` hold this).  The
 selector therefore only changes speed, never results.
 
+The selector also picks the *solver core*: under ``"csr"`` the
+``Appro_Multi`` / ``Online_CP_K`` combination sweep runs on the CSR-native
+flat evaluator (:class:`repro.core.fasteval.CSRCombinationEvaluator` over an
+epoch-stamped compiled view and an :class:`repro.core.auxiliary.AuxiliaryCSR`
+virtual-source row), while ``"dict"`` keeps the dict-of-dict auxiliary graph
+path.  The two cores are held bit-identical — trees, costs, and dict
+insertion orders — by ``tests/core/test_differential.py`` and
+``tests/core/test_auxiliary_csr.py``.
+
 Resolution order:
 
 1. an explicit :func:`set_graph_backend` call (the ``--graph-backend`` CLI

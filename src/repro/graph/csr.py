@@ -141,6 +141,16 @@ class CSRGraph:
             engine = self._engine = _CSRDijkstra(self)
         return engine
 
+    def adjacency(self) -> List[Tuple[Tuple[int, float], ...]]:
+        """Per-node adjacency as tuples of ``(neighbor index, weight)``.
+
+        This is the engine's own pre-paired layout (one tuple per node, in
+        ``neighbor_items()`` order), shared — not copied — so flat solver
+        cores can walk the topology without re-deriving it from
+        ``indptr``/``indices``.  Treat it as read-only.
+        """
+        return self.engine()._adj
+
     def __repr__(self) -> str:
         return f"CSRGraph(nodes={self.num_nodes}, edges={self.num_edges})"
 
@@ -255,22 +265,49 @@ class _CSRDijkstra:
         Raises:
             NodeNotFoundError: if ``source`` is not in the compiled graph.
         """
+        return self.run_resolved(source, self.resolve_targets(targets))
+
+    def resolve_targets(
+        self, targets: Optional[Set[Node]] = None
+    ) -> Optional[frozenset]:
+        """Intern a target set once, for reuse across a batch of sources.
+
+        Returns ``None`` for "settle the whole component": either no
+        targets were given, or some target is absent from the compiled
+        graph — the dict engine's pending set could then never empty, so
+        there is no early exit and the result equals an untargeted run.
+        Otherwise returns the frozen set of target *indices* (possibly
+        empty: the search stops right after the source settles).
+        """
+        if targets is None:
+            return None
+        index_get = self._index.get
+        pending = set()
+        for target in targets:
+            target_idx = index_get(target)
+            if target_idx is None:
+                return None
+            pending.add(target_idx)
+        return frozenset(pending)
+
+    def run_resolved(
+        self, source: Node, resolved: Optional[frozenset]
+    ) -> ShortestPathTree:
+        """:meth:`run` with the target set already interned.
+
+        ``resolved`` must come from :meth:`resolve_targets` on this same
+        engine.  :func:`dijkstra_many` resolves the shared target set once
+        and calls this per source, instead of re-hashing every target node
+        object on every source of the batch.
+        """
         try:
             source_idx = self._index[source]
         except KeyError:
             raise NodeNotFoundError(source) from None
         _obs_inc("csr.dijkstra.calls")
-        if targets is None:
+        if resolved is None:
             return self._run_full(source_idx, source)
-        pending: Set[int] = set()
-        for target in targets:
-            target_idx = self._index.get(target)
-            if target_idx is None:
-                # The dict engine's pending set would never empty: no early
-                # exit, a full component settle — same result as untargeted.
-                return self._run_full(source_idx, source)
-            pending.add(target_idx)
-        return self._run_targeted(source_idx, source, pending)
+        return self._run_targeted(source_idx, source, set(resolved))
 
     # ------------------------------------------------------------------
     # core search loops (inlined heap — these loops are the whole point)
@@ -493,13 +530,17 @@ def dijkstra_many(
 
     Returns a ``source -> tree`` dict in ``sources`` order (duplicates
     collapse onto the first occurrence, which is also the only one run).
+    The shared target set is resolved to indices once for the whole batch
+    (each source still gets its own pending copy, so early exits never
+    leak state between sources).
     """
     _obs_inc("csr.batch.calls")
     engine = csr.engine()
+    resolved = engine.resolve_targets(targets)
     trees: Dict[Node, ShortestPathTree] = {}
     for source in sources:
         if source not in trees:
-            trees[source] = engine.run(source, targets)
+            trees[source] = engine.run_resolved(source, resolved)
     return trees
 
 

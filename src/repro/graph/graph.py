@@ -66,6 +66,39 @@ class Graph:
             graph.add_edge(u, v, w)
         return graph
 
+    @classmethod
+    def from_adjacency(
+        cls, adjacency: Dict[Node, Dict[Node, float]]
+    ) -> "Graph":
+        """Build a graph from a symmetric ``{u: {v: weight}}`` mapping.
+
+        Node order and per-node neighbor order are preserved exactly as
+        given, so ``nodes()`` / ``edges()`` iteration of the result is
+        bit-identical to a graph grown through the same sequence of
+        ``add_node`` / ``add_edge`` calls — this is the decode entry point
+        for integer-id solver cores that replay adjacency structure built
+        on flat arrays.  The mapping must be symmetric and self-loop free.
+
+        Raises:
+            ValueError: if the mapping has a self-loop or is asymmetric.
+        """
+        graph = cls()
+        adj = graph._adj
+        for u, nbrs in adjacency.items():
+            adj[u] = dict(nbrs)
+        for u, nbrs in adj.items():
+            for v, w in nbrs.items():
+                if u == v:
+                    raise ValueError(
+                        f"self-loop on node {u!r} is not allowed"
+                    )
+                mirror = adj.get(v)
+                if mirror is None or mirror.get(u) != w:
+                    raise ValueError(
+                        f"adjacency is not symmetric at edge ({u!r}, {v!r})"
+                    )
+        return graph
+
     def add_node(self, node: Node) -> None:
         """Add ``node`` to the graph (a no-op if it already exists)."""
         self._adj.setdefault(node, {})

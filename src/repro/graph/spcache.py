@@ -63,6 +63,8 @@ from repro.graph.graph import Graph, Node
 from repro.graph.shortest_paths import ShortestPathTree, dijkstra
 from repro.obs import inc as _obs_inc, span as _obs_span
 
+_FLAT_INF = float("inf")
+
 
 class ScaledDistances(Mapping):
     """Read-only mapping view multiplying every value by a fixed factor.
@@ -251,9 +253,9 @@ class ShortestPathCache:
     with trees computed on demand and remembered.
     """
 
-    __slots__ = ("_graph", "_trees", "_csr", "hits", "misses")
+    __slots__ = ("_graph", "_trees", "_csr", "_epoch", "_flat", "hits", "misses")
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(self, graph: Graph, epoch: Optional[int] = None) -> None:
         self._graph = graph
         self._trees: Dict[Node, ShortestPathTree] = {}
         # Compiled CSR view of the (immutable-for-our-lifetime) graph,
@@ -261,6 +263,11 @@ class ShortestPathCache:
         # the cache is epoch-keyed via VersionedCacheRegistry, this is
         # exactly "compile once per epoch".
         self._csr: Optional[CSRGraph] = None
+        # Stamped onto the compiled view so consumers can audit which
+        # network version a flat workspace was derived at.
+        self._epoch = epoch
+        # Index-space rows derived from cached trees (see flat_tree).
+        self._flat: Dict[Node, Tuple[List[float], List[int]]] = {}
         #: Served-from-memory lookup count (observability / benchmarks).
         self.hits = 0
         #: Computed-on-demand lookup count.
@@ -271,12 +278,55 @@ class ShortestPathCache:
         """The graph the cached trees were computed on."""
         return self._graph
 
+    @property
+    def epoch(self) -> Optional[int]:
+        """The version tag the cache (and its CSR view) was built at."""
+        return self._epoch
+
     def _compiled(self) -> CSRGraph:
         """Return the CSR view of the bound graph, compiling it once."""
         csr = self._csr
         if csr is None:
-            csr = self._csr = compile_csr(self._graph)
+            csr = self._csr = compile_csr(self._graph, epoch=self._epoch)
         return csr
+
+    def compiled(self) -> CSRGraph:
+        """The cache's single epoch-stamped CSR compilation of its graph.
+
+        This is the one-compilation-per-request invariant's anchor: every
+        flat consumer of the topology (the CSR-native ``Appro_Multi`` core,
+        batched metric closures, warm sweeps) must share this view rather
+        than calling :func:`~repro.graph.csr.compile_csr` itself.
+        """
+        return self._compiled()
+
+    def flat_tree(self, origin: Node) -> Tuple[List[float], List[int]]:
+        """Index-space view of :meth:`tree`: ``(distance row, parent row)``.
+
+        Both rows are indexed by the compiled view's node indices:
+        ``distance[i]`` is the unit-cost distance to node ``i`` (``inf``
+        when unreachable) and ``parent[i]`` the predecessor index (``-1``
+        for the origin and unreachable nodes).  Rows are memoized per
+        origin, derived from the same cached tree :meth:`tree` serves — so
+        flat and dict consumers can never disagree.
+        """
+        cached = self._flat.get(origin)
+        if cached is not None:
+            return cached
+        csr = self._compiled()
+        index = csr.index
+        size = len(csr.nodes)
+        tree = self.tree(origin)
+        dist_row: List[float] = [_FLAT_INF] * size
+        parent_row: List[int] = [-1] * size
+        for node, value in tree.distance.items():
+            dist_row[index[node]] = value
+        for node, predecessor in tree.parent.items():
+            if predecessor is not None:
+                parent_row[index[node]] = index[predecessor]
+        rows = (dist_row, parent_row)
+        self._flat[origin] = rows
+        return rows
 
     def tree(self, origin: Node) -> ShortestPathTree:
         """Return the Dijkstra tree rooted at ``origin`` (cached).
@@ -344,6 +394,7 @@ class ShortestPathCache:
     def clear(self) -> None:
         """Drop every cached tree (keeps the graph binding)."""
         self._trees.clear()
+        self._flat.clear()
 
     # -- mapping protocol (kmb_steiner_tree_cached compatibility) -------
     def __getitem__(self, origin: Node) -> ShortestPathTree:
@@ -411,7 +462,7 @@ class VersionedCacheRegistry:
         for k in stale:
             del self._entries[k]
         with _obs_span("cache_build"):
-            cache = ShortestPathCache(builder())
+            cache = ShortestPathCache(builder(), epoch=version)
         self._entries[entry_key] = cache
         while len(self._entries) > self._maxsize:
             self._entries.popitem(last=False)

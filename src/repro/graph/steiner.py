@@ -20,9 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+from typing import Optional
+
 from repro.exceptions import DisconnectedGraphError, NodeNotFoundError
 from repro.graph.backend import graph_backend
-from repro.graph.csr import compile_csr, dijkstra_many
+from repro.graph.csr import CSRGraph, compile_csr, dijkstra_many
 from repro.graph.graph import Graph, Node
 from repro.graph.mst import kruskal_mst, prim_mst
 from repro.graph.shortest_paths import ShortestPathTree, dijkstra
@@ -49,8 +51,21 @@ class MetricClosure:
         return self.trees[u].path_to(v)
 
 
-def metric_closure(graph: Graph, terminals: Sequence[Node]) -> MetricClosure:
+def metric_closure(
+    graph: Graph,
+    terminals: Sequence[Node],
+    compiled: Optional[CSRGraph] = None,
+) -> MetricClosure:
     """Build the shortest-path metric closure over ``terminals``.
+
+    Args:
+        graph: the host graph.
+        terminals: terminal nodes; duplicates collapse, order is kept.
+        compiled: an already-compiled CSR view of ``graph``.  Callers that
+            hold one (e.g. via ``ShortestPathCache.compiled()``) pass it so
+            the closure sweep reuses the compilation instead of paying a
+            fresh ``compile_csr`` — the one-compilation-per-request rule.
+            Ignored under the dict backend.
 
     Raises:
         NodeNotFoundError: if a terminal is not in the graph.
@@ -67,9 +82,12 @@ def metric_closure(graph: Graph, terminals: Sequence[Node]) -> MetricClosure:
         # Batched sweep over one compiled view: each source discards itself
         # the moment it pops, so passing the full terminal set is exactly
         # the per-source ``terminal_set - {terminal}`` early exit.  Uncached
-        # one-shot entry point, same justification as the dict branch
-        # below.  # repro-lint: disable=RL001
-        trees = dijkstra_many(compile_csr(graph), terminal_list, targets=terminal_set)
+        # one-shot entry point (callers with a cache pass ``compiled=``),
+        # same justification as the dict branch below.
+        csr = compiled if compiled is not None else compile_csr(graph)
+        trees = dijkstra_many(  # repro-lint: disable=RL001
+            csr, terminal_list, targets=terminal_set
+        )
     else:
         trees = {}
         for terminal in terminal_list:
@@ -95,12 +113,17 @@ def metric_closure(graph: Graph, terminals: Sequence[Node]) -> MetricClosure:
     return MetricClosure(closure=closure, trees=trees)
 
 
-def kmb_steiner_tree(graph: Graph, terminals: Sequence[Node]) -> Graph:
+def kmb_steiner_tree(
+    graph: Graph,
+    terminals: Sequence[Node],
+    compiled: Optional[CSRGraph] = None,
+) -> Graph:
     """Return a KMB 2-approximate Steiner tree spanning ``terminals``.
 
     The result is a subgraph of ``graph`` that is a tree, contains every
     terminal, and whose every leaf is a terminal.  A single terminal yields a
-    one-node tree.
+    one-node tree.  ``compiled`` threads an existing CSR view of ``graph``
+    into the metric-closure sweep (see :func:`metric_closure`).
 
     Raises:
         DisconnectedGraphError: if the terminals do not share a component.
@@ -120,7 +143,7 @@ def kmb_steiner_tree(graph: Graph, terminals: Sequence[Node]) -> Graph:
     _obs_inc("kmb.calls")
     with _obs_span("kmb"):
         # Steps 1-2: MST of the metric closure.
-        closure = metric_closure(graph, terminal_list)
+        closure = metric_closure(graph, terminal_list, compiled=compiled)
         closure_mst = prim_mst(closure.closure)
 
         # Step 3: expand closure MST edges into shortest paths.

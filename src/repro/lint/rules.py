@@ -42,21 +42,50 @@ _SP_QUALIFIED = frozenset(
     f"{module}.{name}" for module in _SP_MODULES for name in _SP_FUNCTIONS
 )
 
+#: Dict-``Graph`` auxiliary-construction helpers: each call materializes a
+#: full ``G_k^i`` (or a scaled topology copy), which the CSR-native solver
+#: core forbids on hot paths — the sweep runs on the compiled view.
+_AUX_BUILD_MODULES = ("repro.core.auxiliary", "repro.core", "repro")
+_AUX_BUILD_FUNCTIONS = frozenset({"scale_graph", "explicit_auxiliary_graph"})
+_AUX_BUILD_QUALIFIED = frozenset(
+    f"{module}.{name}"
+    for module in _AUX_BUILD_MODULES
+    for name in _AUX_BUILD_FUNCTIONS
+)
+#: Substrate compilation entry point and its re-export paths.
+_CSR_COMPILE_QUALIFIED = frozenset(
+    f"{module}.compile_csr"
+    for module in ("repro.graph.csr", "repro.graph", "repro")
+)
+
 
 class UncachedShortestPath(Rule):
-    """Direct Dijkstra calls bypass the epoch-versioned cache."""
+    """Direct Dijkstra calls bypass the epoch-versioned cache.
+
+    Inside ``repro/core`` the rule additionally guards the CSR-native
+    solver core's one-compilation-per-request invariant: no direct
+    ``compile_csr()`` (the substrate is compiled once, epoch-stamped, by
+    the shortest-path cache) and no dict-``Graph`` auxiliary construction
+    (``scale_graph`` / ``explicit_auxiliary_graph``) outside the
+    explicitly suppressed reference/oracle paths.
+    """
 
     id = "RL001"
     name = "uncached-shortest-path"
     rationale = (
         "Shortest-path queries must go through ShortestPathCache / "
         "VersionedCacheRegistry so results are shared and can never be "
-        "served stale across residual-state epochs."
+        "served stale across residual-state epochs.  For the same reason "
+        "the solver core must not recompile the substrate or materialize "
+        "dict auxiliary graphs per combination: the auxiliary graph lives "
+        "in the cache's single compiled view (AuxiliaryCSR), with only the "
+        "virtual-source row varying across the sweep."
     )
     hint = (
         "use network.path_cache() (topology) or "
-        "network.residual_path_cache(bw) (epoch-keyed); suppress only for "
-        "one-shot searches on transient graphs"
+        "network.residual_path_cache(bw) (epoch-keyed); read the compiled "
+        "substrate via ShortestPathCache.compiled(); suppress only for "
+        "one-shot searches / reference constructions on transient graphs"
     )
     node_types = (ast.Call,)
     _allowed = (
@@ -78,6 +107,26 @@ class UncachedShortestPath(Rule):
                 node,
                 f"direct call to {short}() bypasses the versioned "
                 "shortest-path cache",
+            )
+            return
+        if not ctx.in_package("repro/core"):
+            return
+        if qualified in _CSR_COMPILE_QUALIFIED:
+            ctx.report(
+                self,
+                node,
+                "compile_csr() inside the solver core recompiles the "
+                "substrate; the request's single epoch-stamped compilation "
+                "is read via ShortestPathCache.compiled()",
+            )
+        elif qualified in _AUX_BUILD_QUALIFIED:
+            short = qualified.rsplit(".", 1)[1]
+            ctx.report(
+                self,
+                node,
+                f"{short}() materializes a dict auxiliary graph inside the "
+                "solver core; hot paths must use the CSR-compiled view "
+                "(AuxiliaryCSR / FlatContext)",
             )
 
 

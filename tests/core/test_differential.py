@@ -14,6 +14,13 @@ rewrite to the seed behaviour over a bank of seeded random instances:
 3. **Approximation bound** — on instances small enough for the exact
    Dreyfus–Wagner oracle, the returned cost is within the paper's ``2K``
    factor of the auxiliary-graph optimum (Theorem 1).
+4. **Backend identity** — the ``dict`` and ``csr`` values of
+   ``REPRO_GRAPH_BACKEND`` run the same cached engine over different
+   machinery (dict evaluator vs the CSR-native flat core); capacitated
+   ``appro_multi_cap`` request sequences and online admission series
+   (``Online_CP`` and ``Online_CP_K``) must agree **bitwise** — trees with
+   the same dict insertion order, the same float costs, the same
+   admit/reject verdicts in the same order.
 
 Every instance derives from an explicit seed, so a failure names the exact
 graph that broke and is replayable in isolation.
@@ -24,16 +31,25 @@ import pytest
 from repro.core import (
     VIRTUAL_SOURCE,
     CombinationEvaluator,
+    OnlineCP,
+    OnlineCPK,
     appro_multi,
+    appro_multi_cap,
     appro_multi_detailed,
     appro_multi_reference,
     build_context,
     explicit_auxiliary_graph,
     iter_combinations,
     optimal_auxiliary_cost,
+    try_allocate,
 )
 from repro.exceptions import InfeasibleRequestError
-from repro.graph import kmb_steiner_tree, steiner_tree_cost
+from repro.graph import (
+    graph_backend,
+    kmb_steiner_tree,
+    set_graph_backend,
+    steiner_tree_cost,
+)
 from repro.network import build_sdn
 from repro.topology import waxman_graph
 from repro.workload import generate_workload
@@ -163,6 +179,99 @@ class TestConstructionIdentity:
             assert fast.cost == pytest.approx(
                 steiner_tree_cost(reference), rel=1e-9
             )
+
+
+def run_under_backend(backend, fn):
+    """Run ``fn()`` with the graph backend forced to ``backend``."""
+    saved = graph_backend()
+    set_graph_backend(backend)
+    try:
+        return fn()
+    finally:
+        set_graph_backend(saved)
+
+
+def tree_bits(tree):
+    """Every observable field of a pseudo-tree, bitwise.
+
+    ``server_paths`` is captured as an item tuple so dict insertion order
+    is part of the fingerprint; the two cost floats are compared exactly —
+    the CSR-native core promises the same operands in the same order, not
+    merely a close result.
+    """
+    return (
+        tree.servers,
+        tuple(tree.server_paths.items()),
+        tree.distribution_edges,
+        tree.return_paths,
+        tree.bandwidth_cost,
+        tree.compute_cost,
+    )
+
+
+class TestBackendIdentity:
+    """dict backend ≡ csr backend, bit for bit, over request *sequences*.
+
+    Sequences matter: each admitted request mutates residual capacities,
+    so later requests exercise the epoch-keyed residual/weighted caches
+    and the flat workspaces rebuilt per epoch.  A single diverging
+    tie-break anywhere would cascade into different trees, different
+    allocations, and a different admission series — exactly what these
+    fingerprints would catch.
+    """
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_appro_multi_cap_sequence_bit_identical(self, seed):
+        def series():
+            network, request_seq = self._instance(seed)
+            out = []
+            for request in request_seq:
+                try:
+                    tree = appro_multi_cap(network, request, max_servers=2)
+                except InfeasibleRequestError:
+                    out.append(None)
+                    continue
+                # commit the allocation so later requests see the
+                # depleted residuals (and a bumped network epoch)
+                transaction = try_allocate(network, tree)
+                out.append((tree_bits(tree), transaction is not None))
+            return out
+        assert run_under_backend("dict", series) == run_under_backend(
+            "csr", series
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("kind", ["cp", "cpk"])
+    def test_online_admission_series_bit_identical(self, seed, kind):
+        def series():
+            network, request_seq = self._instance(seed)
+            if kind == "cp":
+                algorithm = OnlineCP(network)
+            else:
+                algorithm = OnlineCPK(network, max_servers=2)
+            out = []
+            for request in request_seq:
+                decision = algorithm.process(request)
+                out.append((
+                    decision.admitted,
+                    decision.reason,
+                    None if decision.tree is None
+                    else tree_bits(decision.tree),
+                ))
+            return out
+        assert run_under_backend("dict", series) == run_under_backend(
+            "csr", series
+        )
+
+    @staticmethod
+    def _instance(seed):
+        """A fresh network plus a short request sequence for one seed."""
+        graph, _ = waxman_graph(16, alpha=0.5, beta=0.5, seed=seed)
+        network = build_sdn(graph, seed=seed, server_fraction=0.3)
+        request_seq = generate_workload(
+            graph, count=5, dmax_ratio=0.25, seed=seed + 10_000
+        )
+        return network, request_seq
 
 
 class TestApproximationBound:

@@ -174,6 +174,61 @@ def test_batch_with_terminal_set_matches_metric_closure_pattern():
         )
 
 
+def test_batch_empty_targets_matches_dict_engine():
+    """``targets=set()``: every source stops right after it settles itself."""
+    graph = _ladder()
+    csr = compile_csr(graph)
+    sources = [0, 2]
+    batch = dijkstra_many(csr, sources, targets=set())
+    for source in sources:
+        assert_trees_identical(
+            dijkstra(graph, source, targets=set()), batch[source]
+        )
+        assert batch[source].distance == {source: 0.0}
+
+
+def test_batch_terminal_equal_to_origin_matches_dict_engine():
+    """An origin inside the target set is discharged the moment it pops."""
+    graph = _ladder()
+    csr = compile_csr(graph)
+    terminals = {0, 3}
+    batch = dijkstra_many(csr, [0, 3], targets=terminals)
+    for source in (0, 3):
+        assert_trees_identical(
+            dijkstra(graph, source, targets=terminals), batch[source]
+        )
+
+
+def test_batch_unreachable_terminal_matches_dict_engine():
+    """Unreachable or unknown terminals: full settle, exactly like dict."""
+    graph = _ladder()
+    graph.add_edge(4, 5, 1.0)  # second component
+    csr = compile_csr(graph)
+    # 5 exists but is unreachable from 0: the pending set never empties,
+    # so the whole component is settled — identical to the dict engine.
+    batch = dijkstra_many(csr, [0], targets={5})
+    assert_trees_identical(dijkstra(graph, 0, targets={5}), batch[0])
+    assert 5 not in batch[0].distance
+    # an unknown terminal disables the early exit the same way
+    batch = dijkstra_many(csr, [0], targets={3, "ghost"})
+    assert_trees_identical(dijkstra(graph, 0, targets={3, "ghost"}), batch[0])
+
+
+def test_batch_resolves_targets_once_and_leaves_callers_set_alone():
+    """The batch resolves the target set once; the caller's set survives."""
+    graph = _ladder()
+    csr = compile_csr(graph)
+    targets = {0, 3, "ghost"}
+    snapshot = set(targets)
+    batch = dijkstra_many(csr, [0, 1, 0], targets=targets)
+    assert targets == snapshot
+    assert list(batch) == [0, 1]
+    for source in (0, 1):
+        assert_trees_identical(
+            dijkstra(graph, source, targets=targets), batch[source]
+        )
+
+
 # ---------------------------------------------------------------------------
 # compiled-view structure
 # ---------------------------------------------------------------------------
