@@ -10,6 +10,9 @@ Examples::
     python -m repro.cli bench --target csr --quick
     python -m repro.cli demo
     python -m repro.cli fig5 --graph-backend dict
+    python -m repro.cli stream --requests 10000 --out run.jsonl \
+        --trace run.trace.json --dashboard
+    python -m repro.cli watch run.jsonl
 """
 
 from __future__ import annotations
@@ -77,13 +80,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--target",
-        choices=("obs", "spcache", "csr", "appro"),
+        choices=("obs", "spcache", "csr", "appro", "stream-obs"),
         default="obs",
         help=(
             "what to measure: 'obs' telemetry overhead (default), "
             "'spcache' cached vs uncached solver, 'csr' compiled vs dict "
             "Dijkstra engine, 'appro' end-to-end dict-path vs CSR-native "
-            "Appro_Multi (merges into BENCH_csr.json)"
+            "Appro_Multi (merges into BENCH_csr.json), 'stream-obs' the "
+            "streaming run with histograms + emitter enabled (merges into "
+            "BENCH_obs.json)"
         ),
     )
     bench.add_argument(
@@ -92,8 +97,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="artifact path (default: BENCH_<target>.json)",
     )
     bench.add_argument(
-        "--requests", type=int, default=40,
-        help="batch size for obs/spcache targets (default 40)",
+        "--requests", type=int, default=None,
+        help=(
+            "batch size for obs/spcache/appro targets (default 40) or "
+            "stream length for stream-obs (default 2000)"
+        ),
     )
     bench.add_argument(
         "--rounds", type=int, default=None,
@@ -105,6 +113,68 @@ def _build_parser() -> argparse.ArgumentParser:
         help="smaller workloads for CI smoke runs (noisier numbers)",
     )
     _add_graph_backend(bench)
+
+    stream = subparsers.add_parser(
+        "stream",
+        help=(
+            "online run with the streaming telemetry emitter: JSONL delta "
+            "snapshots, optional Chrome trace and live dashboard"
+        ),
+    )
+    stream.add_argument(
+        "--topology", default="GEANT",
+        choices=("GEANT", "AS1755", "AS4755"),
+        help="real topology to provision (default GEANT)",
+    )
+    stream.add_argument(
+        "--requests", type=int, default=10_000,
+        help="arrival count (default 10000)",
+    )
+    stream.add_argument(
+        "--seed", type=int, default=20170605, help="workload seed"
+    )
+    stream.add_argument(
+        "--every", type=int, default=1000,
+        help="flush a delta snapshot every N requests (default 1000)",
+    )
+    stream.add_argument(
+        "--every-seconds", type=float, default=None,
+        help="also flush every T wall seconds",
+    )
+    stream.add_argument(
+        "--out", default="stream.jsonl",
+        help="JSONL delta-snapshot path (default stream.jsonl)",
+    )
+    stream.add_argument(
+        "--prom", default=None, metavar="PATH",
+        help="also keep a Prometheus scrape file refreshed per flush",
+    )
+    stream.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help=(
+            "record per-request spans and write a Chrome trace_event "
+            "JSON file loadable in chrome://tracing / Perfetto"
+        ),
+    )
+    stream.add_argument(
+        "--dashboard", action="store_true",
+        help="render the live ASCII dashboard after each flush",
+    )
+    _add_graph_backend(stream)
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="live ASCII dashboard over an emitter JSONL snapshot stream",
+    )
+    watch.add_argument("path", help="emitter JSONL file to tail")
+    watch.add_argument(
+        "--follow", action="store_true",
+        help="keep polling for new payloads (Ctrl-C to stop)",
+    )
+    watch.add_argument(
+        "--poll", type=float, default=0.5,
+        help="poll interval in seconds with --follow (default 0.5)",
+    )
 
     for name in list(EXPERIMENTS) + ["all"]:
         sub = subparsers.add_parser(
@@ -202,6 +272,75 @@ def _run_demo(size: int, seed: int) -> None:
     )
 
 
+class _DashboardSink:
+    """An emitter sink that redraws the live dashboard on every flush."""
+
+    def __init__(self) -> None:
+        from repro.obs.dashboard import DashboardState
+
+        self.state = DashboardState()
+
+    def emit(self, delta, cumulative) -> None:
+        from repro.obs.dashboard import render
+
+        self.state.consume(delta)
+        print()
+        print(render(self.state))
+
+
+def _run_stream(args) -> int:
+    """``repro stream``: an emitter-instrumented online run."""
+    from repro import obs
+    from repro.analysis.common import (
+        build_real_network,
+        calibrated_online_cp,
+        make_requests,
+    )
+    from repro.simulation.engine import run_online
+
+    network = build_real_network(args.topology, args.seed)
+    requests = make_requests(
+        network.graph, args.requests, 0.2, args.seed + 1
+    )
+    algorithm = calibrated_online_cp(network)
+
+    obs.enable()
+    obs.reset()
+    sinks = [obs.JsonlSink(args.out)]
+    if args.prom:
+        sinks.append(obs.PrometheusSink(args.prom))
+    if args.dashboard:
+        sinks.append(_DashboardSink())
+    log = obs.start_trace() if args.trace else None
+    try:
+        with obs.SnapshotEmitter(
+            every_requests=args.every,
+            every_seconds=args.every_seconds,
+            sinks=sinks,
+            crash_dump_path=args.out + ".crash",
+        ) as emitter:
+            stats = run_online(algorithm, requests, emitter=emitter)
+    finally:
+        if log is not None:
+            obs.stop_trace()
+    if args.trace:
+        obs.write_chrome_trace(log, args.trace)
+    obs.disable()
+    obs.reset()
+
+    print(
+        f"stream {args.topology}: {len(requests)} requests, "
+        f"admitted {stats.admitted}, rejected {stats.rejected}, "
+        f"{emitter.seq} snapshots"
+    )
+    print(f"wrote {args.out}")
+    if args.prom:
+        print(f"wrote {args.prom}")
+    if args.trace:
+        print(f"wrote {args.trace}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -229,22 +368,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench":
         from repro.obs import bench
 
-        output = args.output or (
-            "BENCH_csr.json"
-            if args.target == "appro"
-            else f"BENCH_{args.target}.json"
-        )
+        output = args.output or {
+            "appro": "BENCH_csr.json",
+            "stream-obs": "BENCH_obs.json",
+        }.get(args.target, f"BENCH_{args.target}.json")
+        batch = args.requests or bench.DEFAULT_REQUESTS
         if args.target == "obs":
             payload = bench.run_obs_benchmark(
                 output_path=output,
-                requests=args.requests,
+                requests=batch,
                 rounds=args.rounds or bench.DEFAULT_ROUNDS,
             )
             lines = bench.render_bench_summary(payload)
         elif args.target == "spcache":
             payload = bench.run_spcache_benchmark(
                 output_path=output,
-                requests=args.requests,
+                requests=batch,
                 rounds=args.rounds or bench.DEFAULT_ROUNDS,
                 quick=args.quick,
             )
@@ -252,11 +391,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif args.target == "appro":
             payload = bench.run_appro_benchmark(
                 output_path=output,
-                requests=args.requests,
+                requests=batch,
                 rounds=args.rounds or bench.DEFAULT_APPRO_ROUNDS,
                 quick=args.quick,
             )
             lines = bench.render_speedup_summary(payload)
+        elif args.target == "stream-obs":
+            payload = bench.run_stream_benchmark(
+                output_path=output,
+                requests=args.requests or bench.DEFAULT_STREAM_REQUESTS,
+                rounds=args.rounds or bench.DEFAULT_ROUNDS,
+                quick=args.quick,
+            )
+            lines = bench.render_stream_summary(payload)
         else:
             payload = bench.run_csr_benchmark(
                 output_path=output,
@@ -267,6 +414,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         for line in lines:
             print(line)
         print(f"wrote {output}")
+        return 0
+
+    if args.command == "stream":
+        return _run_stream(args)
+
+    if args.command == "watch":
+        from repro.obs.dashboard import watch as watch_stream
+
+        watch_stream(args.path, follow=args.follow, poll_seconds=args.poll)
         return 0
 
     if getattr(args, "workers", None) is not None:

@@ -32,7 +32,11 @@ from repro.core.fasteval import AnySolution, make_evaluator
 from repro.core.pseudo_tree import PseudoMulticastTree
 from repro.exceptions import InfeasibleRequestError
 from repro.network.sdn import SDNetwork
-from repro.obs import inc as _obs_inc, span as _obs_span
+from repro.obs import (
+    inc as _obs_inc,
+    span as _obs_span,
+    trace_instant as _obs_instant,
+)
 from repro.workload.request import MulticastRequest
 
 Node = Hashable
@@ -234,7 +238,13 @@ def appro_multi_detailed(
                 bandwidth=request.bandwidth,
                 cache=network.path_cache(),
             )
-        return _search(ctx, request, max_servers)
+        result = _search(ctx, request, max_servers)
+        _obs_instant(
+            "appro_multi.solved",
+            servers=[str(s) for s in result.tree.servers],
+            cost=result.tree.total_cost,
+        )
+        return result
 
 
 def appro_multi_reference(

@@ -34,7 +34,11 @@ from repro.graph.spcache import ShortestPathCache, VersionedCacheRegistry
 from repro.graph.steiner import kmb_steiner_tree_cached
 from repro.graph.tree import RootedTree
 from repro.network.sdn import SDNetwork
-from repro.obs import inc as _obs_inc, span as _obs_span
+from repro.obs import (
+    inc as _obs_inc,
+    span as _obs_span,
+    trace_instant as _obs_instant,
+)
 from repro.workload.request import MulticastRequest
 
 Node = Hashable
@@ -172,6 +176,11 @@ class OnlineCP(OnlineAlgorithm):
             return self._reject(request, reason)
 
         pseudo = self._build_pseudo_tree(request, best)
+        _obs_instant(
+            "online_cp.selected",
+            server=str(best.server),
+            selection_weight=best.selection_weight,
+        )
         return self._admit(request, pseudo, best.selection_weight)
 
     def _build_pseudo_tree(

@@ -477,7 +477,15 @@ _WALL_CLOCK = frozenset(
 
 
 class WallClockOutsideObs(Rule):
-    """Wall-clock reads outside ``repro/obs`` (benchmarks are never linted)."""
+    """Wall-clock reads outside ``repro/obs`` (benchmarks are never linted).
+
+    The streaming-telemetry aggregators are held to the *same* standard as
+    solver code even though they live inside ``repro/obs``:
+    ``obs/window.py`` must stay clock-free (windowed values are pure
+    functions of the event stream), and ``obs/emitter.py`` — whose
+    ``every_seconds`` flush trigger is wall time by contract — is the one
+    justified file-level suppression site.
+    """
 
     id = "RL007"
     name = "wall-clock-outside-obs"
@@ -486,12 +494,17 @@ class WallClockOutsideObs(Rule):
         "wall-clock read anywhere near a decision path is a reproducibility "
         "hazard.  Timing belongs to repro.obs spans and the benchmarks.  "
         "Engines that *report* measured runtime as a result metric carry a "
-        "justified file-level suppression."
+        "justified file-level suppression, as does obs/emitter.py (its "
+        "every_seconds flush trigger is wall time by contract); "
+        "obs/window.py gets no exemption at all — windowed aggregates must "
+        "be pure functions of the event stream."
     )
     hint = "use an obs span, or suppress with a justification if the value is a reported metric"
     node_types = (ast.Call,)
 
     def applies_to(self, ctx: LintContext) -> bool:
+        if ctx.in_module("repro/obs/emitter.py", "repro/obs/window.py"):
+            return True
         return not ctx.in_package("repro/obs")
 
     def visit(self, node: ast.AST, ctx: LintContext) -> None:

@@ -22,11 +22,20 @@ Usage from drivers::
     payload = obs.snapshot()
 """
 
+from repro.obs.dashboard import DashboardState, render, sparkline, watch
+from repro.obs.emitter import (
+    JsonlSink,
+    PrometheusSink,
+    SnapshotEmitter,
+    sum_deltas,
+)
 from repro.obs.export import (
     parse_prometheus,
     render_phase_table,
+    to_chrome_trace,
     to_json,
     to_prometheus,
+    write_chrome_trace,
     write_json,
     write_prometheus,
 )
@@ -41,6 +50,7 @@ from repro.obs.registry import (
     enable,
     enabled,
     gauge,
+    hist,
     inc,
     merge,
     observe,
@@ -49,29 +59,68 @@ from repro.obs.registry import (
     snapshot,
     span,
 )
+from repro.obs.tracing import (
+    TraceLog,
+    active_trace,
+    current_request,
+    request_scope,
+    start_trace,
+    stop_trace,
+    trace_instant,
+)
+from repro.obs.window import (
+    DEFAULT_COST_BOUNDS,
+    DEFAULT_LATENCY_BOUNDS,
+    EmaRate,
+    FixedBucketHistogram,
+    SlidingWindowCounter,
+)
 
 __all__ = [
+    "DEFAULT_COST_BOUNDS",
+    "DEFAULT_LATENCY_BOUNDS",
+    "DashboardState",
+    "EmaRate",
+    "FixedBucketHistogram",
+    "JsonlSink",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PrometheusSink",
+    "SlidingWindowCounter",
+    "SnapshotEmitter",
     "Span",
     "TimerStat",
+    "TraceLog",
+    "active_trace",
     "counters",
     "counters_since",
+    "current_request",
     "disable",
     "enable",
     "enabled",
     "gauge",
+    "hist",
     "inc",
     "merge",
     "observe",
     "parse_prometheus",
     "registry",
+    "render",
     "render_phase_table",
+    "request_scope",
     "reset",
     "snapshot",
     "span",
+    "sparkline",
+    "start_trace",
+    "stop_trace",
+    "sum_deltas",
+    "to_chrome_trace",
     "to_json",
     "to_prometheus",
+    "trace_instant",
+    "watch",
+    "write_chrome_trace",
     "write_json",
     "write_prometheus",
 ]

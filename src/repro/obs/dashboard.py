@@ -1,0 +1,223 @@
+"""Live ASCII dashboard over the emitter's delta-snapshot stream.
+
+``repro watch run.jsonl`` (or any online experiment's ``--dashboard``
+flag) renders a small terminal panel from the same JSONL payloads the
+:class:`repro.obs.emitter.SnapshotEmitter` writes — no second telemetry
+path, no extra instrumentation cost: the dashboard is a pure consumer.
+
+:class:`DashboardState` folds delta payloads exactly the way
+:func:`repro.obs.emitter.sum_deltas` does (histograms through
+:meth:`FixedBucketHistogram.merge
+<repro.obs.window.FixedBucketHistogram.merge>`, since delta payloads
+carry additive bucket counts plus cumulative min/max), so everything on
+screen — rolling admission rate, cumulative cost, p50/p90/p99 admission
+latency, cache hit ratios — is derived state, reproducible from the
+stream alone.  :func:`render` draws one frame; :func:`watch` tails a
+JSONL file and redraws per payload.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, Mapping, Optional, TextIO
+
+from repro.obs.window import FixedBucketHistogram
+
+__all__ = [
+    "DashboardState",
+    "render",
+    "sparkline",
+    "watch",
+]
+
+#: Eight-level bar glyphs for the trend sparkline.
+_SPARK = "▁▂▃▄▅▆▇█"
+
+#: Histogram names the latency / cost panels read (engine names).
+_LATENCY_HIST = "engine.admission_seconds"
+_COST_HIST = "engine.tree_cost"
+
+
+def sparkline(values: Iterable[float]) -> str:
+    """Render ``values`` as a fixed-alphabet unicode sparkline."""
+    series = [float(v) for v in values]
+    if not series:
+        return ""
+    low = min(series)
+    span = max(series) - low
+    if span <= 0:
+        return _SPARK[0] * len(series)
+    scale = (len(_SPARK) - 1) / span
+    return "".join(_SPARK[int((v - low) * scale)] for v in series)
+
+
+def _ratio(hits: float, misses: float) -> Optional[float]:
+    total = hits + misses
+    return hits / total if total else None
+
+
+def _seconds(value: float) -> str:
+    """Human latency label: µs/ms/s, three significant digits."""
+    if value < 0.001:
+        return f"{value * 1e6:.3g}µs"
+    if value < 1.0:
+        return f"{value * 1e3:.3g}ms"
+    return f"{value:.3g}s"
+
+
+class DashboardState:
+    """Derived state folded from an ordered stream of delta payloads."""
+
+    __slots__ = (
+        "counters",
+        "gauges",
+        "histograms",
+        "rate_history",
+        "last",
+        "payloads",
+    )
+
+    def __init__(self, trend_width: int = 32) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, FixedBucketHistogram] = {}
+        self.rate_history: Deque[float] = deque(maxlen=trend_width)
+        self.last: Optional[Mapping[str, Any]] = None
+        self.payloads = 0
+
+    def consume(self, payload: Mapping[str, Any]) -> None:
+        """Fold one emitter delta payload into the cumulative view."""
+        for name, delta in payload.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0.0) + delta
+        self.gauges.update(payload.get("gauges", {}))
+        for name, data in payload.get("histograms", {}).items():
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = FixedBucketHistogram(data["bounds"])
+                self.histograms[name] = histogram
+            histogram.merge(data)
+        derived = payload.get("derived", {})
+        self.rate_history.append(derived.get("window_admission_rate", 0.0))
+        self.last = payload
+        self.payloads += 1
+
+    # -- panel values ----------------------------------------------------
+    @property
+    def admission_rate(self) -> float:
+        """Rolling admission rate from the latest payload's window."""
+        return self.rate_history[-1] if self.rate_history else 0.0
+
+    def cache_ratios(self) -> Dict[str, Optional[float]]:
+        """Hit ratios of the shortest-path caches (None: no traffic)."""
+        c = self.counters
+        return {
+            "spcache": _ratio(
+                c.get("spcache.hits", 0.0), c.get("spcache.misses", 0.0)
+            ),
+            "spregistry": _ratio(
+                c.get("spregistry.hits", 0.0),
+                c.get("spregistry.misses", 0.0),
+            ),
+        }
+
+
+def render(state: DashboardState) -> str:
+    """Draw one dashboard frame from the current derived state."""
+    last = state.last or {}
+    header = (
+        f"repro watch · seq {last.get('seq', '-')} "
+        f"({last.get('reason', 'no payloads yet')}) · "
+        f"requests {last.get('total_requests', 0)}"
+    )
+    lines = [header, "-" * len(header)]
+
+    decisions = state.counters.get("online.decisions", 0.0)
+    admitted = state.counters.get("online.admitted", 0.0)
+    overall = admitted / decisions if decisions else 0.0
+    lines.append(
+        f"admission   window {state.admission_rate * 100:5.1f}%   "
+        f"overall {overall * 100:5.1f}%   "
+        f"admitted {int(admitted)}/{int(decisions)}"
+    )
+
+    latency = state.histograms.get(_LATENCY_HIST)
+    if latency is not None and latency.count:
+        p = latency.percentiles()
+        lines.append(
+            f"latency     p50 {_seconds(p['p50'])}   "
+            f"p90 {_seconds(p['p90'])}   p99 {_seconds(p['p99'])}"
+        )
+    cost = state.histograms.get(_COST_HIST)
+    if cost is not None and cost.count:
+        p = cost.percentiles()
+        lines.append(
+            f"tree cost   p50 {p['p50']:.4g}   p99 {p['p99']:.4g}   "
+            f"mean {cost.mean:.4g}   total {cost.sum:.6g}"
+        )
+
+    ratios = state.cache_ratios()
+    cache_bits = [
+        f"{name} {ratio * 100:.1f}%"
+        for name, ratio in ratios.items()
+        if ratio is not None
+    ]
+    if cache_bits:
+        lines.append("cache hit   " + "   ".join(cache_bits))
+
+    if state.rate_history:
+        lines.append(
+            f"rate trend  {sparkline(state.rate_history)}  "
+            f"(last {len(state.rate_history)} windows)"
+        )
+    return "\n".join(lines)
+
+
+def watch(
+    path: str,
+    follow: bool = False,
+    out: Optional[TextIO] = None,
+    poll_seconds: float = 0.5,
+    max_frames: Optional[int] = None,
+) -> DashboardState:
+    """Tail an emitter JSONL file, redrawing the dashboard per payload.
+
+    With ``follow=False`` the file is read once and the final frame
+    printed; with ``follow=True`` the function keeps polling for new
+    lines (Ctrl-C to stop) until a ``"final"`` or ``"exception"`` payload
+    arrives.  ``max_frames`` bounds the redraw count for tests.  Returns
+    the folded state so callers can assert on it.
+    """
+    stream = sys.stdout if out is None else out
+    state = DashboardState()
+    frames = 0
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            while True:
+                line = handle.readline()
+                if not line:
+                    if not follow:
+                        break
+                    time.sleep(poll_seconds)
+                    continue
+                line = line.strip()
+                if not line:
+                    continue
+                state.consume(json.loads(line))
+                stream.write(render(state) + "\n\n")
+                stream.flush()
+                frames += 1
+                if max_frames is not None and frames >= max_frames:
+                    break
+                if follow and state.last is not None and state.last.get(
+                    "reason"
+                ) in ("final", "exception"):
+                    break
+    except KeyboardInterrupt:
+        pass
+    if frames == 0:
+        stream.write(render(state) + "\n")
+        stream.flush()
+    return state

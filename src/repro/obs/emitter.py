@@ -1,0 +1,417 @@
+# repro-lint: disable-file=RL007 -- the emitter is the one module whose
+# *job* is reading the wall clock: every_seconds flush triggers are defined
+# in real time by contract (a scrape sink must refresh even while a single
+# slow request is in flight).  Everything it computes from the clock stays
+# inside the payload's bookkeeping; no metric value depends on it.
+"""Periodic snapshot emitter: delta telemetry for long-running streams.
+
+An end-of-run :func:`repro.obs.snapshot` is useless to a service that
+never ends.  The :class:`SnapshotEmitter` turns the cumulative registry
+into a *stream* of bounded delta payloads:
+
+- the engine calls :meth:`SnapshotEmitter.tick` once per processed
+  request; every ``every_requests`` ticks (or ``every_seconds`` wall
+  seconds, whichever fires first) the emitter flushes;
+- each flush computes **compensated deltas** against a mirror of what has
+  already been emitted (``delta`` is nudged by ULPs until
+  ``emitted + delta == current`` exactly), so a consumer that sums the
+  delta stream in order reconstructs the final cumulative snapshot
+  *bit-for-bit* — counters, histogram bucket counts, and float sums alike;
+- payloads go to pluggable sinks (:class:`JsonlSink` appends one JSON
+  line per delta; :class:`PrometheusSink` rewrites a scrape file with the
+  cumulative state) and into a bounded **flight-recorder ring** of the
+  last ``ring_size`` payloads, dumped on exception for post-mortems.
+
+Memory is O(metrics + ring_size), independent of stream length: the
+mirror holds one float per counter / timer field / histogram bucket, and
+the ring is a ``deque(maxlen=...)``.  Used as a context manager the
+emitter final-flushes on clean exit and crash-dumps the ring (plus an
+``"exception"`` flush) when the block raises.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.obs import registry as _registry
+from repro.obs.tracing import trace_instant
+from repro.obs.window import SlidingWindowCounter
+
+__all__ = [
+    "JsonlSink",
+    "PrometheusSink",
+    "SnapshotEmitter",
+    "sum_deltas",
+]
+
+#: Counter keys the emitter derives rolling rates from (engine names).
+_ADMITTED_KEY = "online.admitted"
+_DECISIONS_KEY = "online.decisions"
+
+
+def _exact_delta(current: float, emitted: float) -> float:
+    """The delta ``d`` with ``emitted + d == current`` *exactly*.
+
+    ``current - emitted`` is the obvious candidate and is exact whenever
+    Sterbenz's lemma applies (``current/2 <= emitted <= 2*current``) —
+    i.e. on every flush after a series has stopped doubling.  When the
+    naive delta rounds, nudge it one ULP at a time toward the target;
+    monotone telemetry series always reach it within a few steps.  The
+    bounded fallback concedes a sub-ULP drift rather than looping.
+    """
+    delta = current - emitted
+    if emitted + delta == current:
+        return delta
+    for _ in range(64):
+        toward = math.inf if emitted + delta < current else -math.inf
+        delta = math.nextafter(delta, toward)
+        if emitted + delta == current:
+            return delta
+    return current - emitted
+
+
+class JsonlSink:
+    """Appends one compact JSON line per delta payload to ``path``."""
+
+    __slots__ = ("path", "_handle")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = open(path, "w", encoding="utf-8")
+
+    def emit(
+        self,
+        delta: Mapping[str, Any],
+        cumulative: Mapping[str, Mapping],
+    ) -> None:
+        """Write ``delta`` as one line (the cumulative state is unused)."""
+        self._handle.write(json.dumps(delta, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        self._handle.close()
+
+
+class PrometheusSink:
+    """Rewrites a scrape file with the cumulative state on every flush.
+
+    Prometheus scraping wants current totals, not deltas, so this sink
+    ignores the delta payload and re-renders the full snapshot through
+    :func:`repro.obs.export.write_prometheus` — an atomic-enough refresh
+    for a node-exporter-style textfile collector.
+    """
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def emit(
+        self,
+        delta: Mapping[str, Any],
+        cumulative: Mapping[str, Mapping],
+    ) -> None:
+        """Render ``cumulative`` into the scrape file."""
+        from repro.obs.export import write_prometheus
+
+        write_prometheus(cumulative, self.path)
+
+    def close(self) -> None:
+        """Nothing to release — each flush reopens the file."""
+
+
+class SnapshotEmitter:
+    """Flushes registry deltas every N requests or T seconds.
+
+    Parameters:
+        every_requests: flush after this many :meth:`tick` calls since
+            the previous flush (``None`` disables the count trigger).
+        every_seconds: flush when this much wall time has passed since
+            the previous flush, checked on each tick (``None`` disables
+            the timer trigger).
+        ring_size: how many recent payloads the flight recorder keeps.
+        sinks: objects with ``emit(delta, cumulative)`` (and optionally
+            ``close()``) receiving every flush.
+        crash_dump_path: where :meth:`dump_ring` writes when the emitter
+            is used as a context manager and the block raises.
+        source: snapshot supplier, defaulting to the process registry —
+            injectable for tests.
+        clock: monotonic-seconds supplier for the timer trigger.
+        rate_window: how many flushes the rolling admission rate spans.
+    """
+
+    __slots__ = (
+        "every_requests",
+        "every_seconds",
+        "ring_size",
+        "sinks",
+        "crash_dump_path",
+        "_source",
+        "_clock",
+        "_ring",
+        "_emitted",
+        "_seq",
+        "_ticks_total",
+        "_ticks_since_flush",
+        "_last_flush_at",
+        "_window_requests",
+        "_window_admitted",
+        "_window_decisions",
+        "closed",
+    )
+
+    def __init__(
+        self,
+        every_requests: Optional[int] = 1000,
+        every_seconds: Optional[float] = None,
+        ring_size: int = 32,
+        sinks: Sequence[Any] = (),
+        crash_dump_path: Optional[str] = None,
+        source: Optional[Callable[[], Dict[str, Dict]]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        rate_window: int = 8,
+    ) -> None:
+        if every_requests is not None and every_requests < 1:
+            raise ValueError(
+                f"every_requests must be >= 1, got {every_requests}"
+            )
+        if every_seconds is not None and every_seconds <= 0:
+            raise ValueError(
+                f"every_seconds must be > 0, got {every_seconds}"
+            )
+        if ring_size < 1:
+            raise ValueError(f"ring_size must be >= 1, got {ring_size}")
+        self.every_requests = every_requests
+        self.every_seconds = every_seconds
+        self.ring_size = ring_size
+        self.sinks = list(sinks)
+        self.crash_dump_path = crash_dump_path
+        self._source = _registry.snapshot if source is None else source
+        self._clock = clock
+        self._ring: deque = deque(maxlen=ring_size)
+        # Mirror of everything emitted so far; flat float per counter,
+        # per timer field, per histogram scalar/bucket.
+        self._emitted: Dict[str, float] = {}
+        self._seq = 0
+        self._ticks_total = 0
+        self._ticks_since_flush = 0
+        self._last_flush_at = clock()
+        self._window_requests = SlidingWindowCounter(rate_window)
+        self._window_admitted = SlidingWindowCounter(rate_window)
+        self._window_decisions = SlidingWindowCounter(rate_window)
+        self.closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "SnapshotEmitter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.flush("exception")
+            if self.crash_dump_path is not None:
+                self.dump_ring(self.crash_dump_path)
+            self.close()
+            return False
+        self.finish()
+        return False
+
+    def finish(self) -> Optional[Dict[str, Any]]:
+        """Final-flush (always, even with nothing pending) and close."""
+        payload = self.flush("final")
+        self.close()
+        return payload
+
+    def close(self) -> None:
+        """Close every sink that supports it (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+    # -- stream interface -----------------------------------------------
+    @property
+    def seq(self) -> int:
+        """How many payloads have been flushed."""
+        return self._seq
+
+    @property
+    def total_requests(self) -> int:
+        """Total ticks observed over the emitter's lifetime."""
+        return self._ticks_total
+
+    def tick(self, n: int = 1) -> Optional[Dict[str, Any]]:
+        """Count ``n`` processed requests; flush if a trigger fires.
+
+        Returns the flushed payload, or ``None`` when no trigger fired.
+        """
+        self._ticks_total += n
+        self._ticks_since_flush += n
+        if (
+            self.every_requests is not None
+            and self._ticks_since_flush >= self.every_requests
+        ):
+            return self.flush("interval")
+        if (
+            self.every_seconds is not None
+            and self._clock() - self._last_flush_at >= self.every_seconds
+        ):
+            return self.flush("timer")
+        return None
+
+    def flush(self, reason: str = "manual") -> Dict[str, Any]:
+        """Emit one delta payload against the current snapshot."""
+        cumulative = self._source()
+        payload = self._delta_payload(cumulative, reason)
+        self._ring.append(payload)
+        for sink in self.sinks:
+            sink.emit(payload, cumulative)
+        trace_instant(
+            "emitter.flush", seq=payload["seq"], reason=reason
+        )
+        self._seq += 1
+        self._ticks_since_flush = 0
+        self._last_flush_at = self._clock()
+        return payload
+
+    # -- flight recorder -------------------------------------------------
+    def ring(self) -> List[Dict[str, Any]]:
+        """The last ``ring_size`` payloads, oldest first."""
+        return list(self._ring)
+
+    def dump_ring(self, path: str) -> None:
+        """Write the flight-recorder ring as JSONL (one payload/line)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for payload in self._ring:
+                handle.write(json.dumps(payload, sort_keys=True) + "\n")
+
+    # -- delta computation ----------------------------------------------
+    def _take(self, key: str, current: float) -> float:
+        """Exact-compensated delta for one mirrored scalar."""
+        emitted = self._emitted.get(key, 0.0)
+        delta = _exact_delta(current, emitted)
+        self._emitted[key] = emitted + delta
+        return delta
+
+    def _delta_payload(
+        self, cumulative: Mapping[str, Mapping], reason: str
+    ) -> Dict[str, Any]:
+        counters: Dict[str, float] = {}
+        for name, value in cumulative.get("counters", {}).items():
+            delta = self._take(f"c:{name}", value)
+            if delta:
+                counters[name] = delta
+        timers: Dict[str, Dict[str, float]] = {}
+        for name, stat in cumulative.get("timers", {}).items():
+            count = self._take(f"t:{name}:count", stat["count"])
+            if not count:
+                continue
+            timers[name] = {
+                "count": int(count),
+                "total": self._take(f"t:{name}:total", stat["total"]),
+            }
+        histograms: Dict[str, Dict[str, Any]] = {}
+        for name, data in cumulative.get("histograms", {}).items():
+            count = self._take(f"h:{name}:count", data["count"])
+            if not count:
+                continue
+            histograms[name] = {
+                "bounds": list(data["bounds"]),
+                "counts": [
+                    int(self._take(f"h:{name}:b{index}", bucket))
+                    for index, bucket in enumerate(data["counts"])
+                ],
+                "count": int(count),
+                "sum": self._take(f"h:{name}:sum", data["sum"]),
+                # min/max are not additive: these are the *cumulative*
+                # values, take-last semantics (like gauges).
+                "min": data["min"],
+                "max": data["max"],
+            }
+        self._window_requests.add(self._ticks_since_flush)
+        self._window_admitted.add(counters.get(_ADMITTED_KEY, 0.0))
+        self._window_decisions.add(counters.get(_DECISIONS_KEY, 0.0))
+        decisions = self._window_decisions.total
+        derived = {
+            "window_requests": self._window_requests.total,
+            "window_admitted": self._window_admitted.total,
+            "window_admission_rate": (
+                self._window_admitted.total / decisions if decisions else 0.0
+            ),
+        }
+        self._window_requests.advance()
+        self._window_admitted.advance()
+        self._window_decisions.advance()
+        return {
+            "seq": self._seq,
+            "reason": reason,
+            "requests": self._ticks_since_flush,
+            "total_requests": self._ticks_total,
+            "counters": counters,
+            "gauges": dict(cumulative.get("gauges", {})),
+            "timers": timers,
+            "histograms": histograms,
+            "derived": derived,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotEmitter(seq={self._seq}, "
+            f"total_requests={self._ticks_total}, "
+            f"ring={len(self._ring)}/{self.ring_size})"
+        )
+
+
+def sum_deltas(payloads: Sequence[Mapping[str, Any]]) -> Dict[str, Dict]:
+    """Reconstruct a cumulative snapshot by summing delta payloads.
+
+    The consumer half of the emitter contract: folding the payloads **in
+    emission order** with plain ``+=`` reproduces the emitter's mirror,
+    which the compensated deltas pin to the registry's final cumulative
+    state bit-for-bit (counters, histogram bucket counts/sums, timer
+    count/total; gauges and histogram min/max take the last value; timer
+    min/max are not part of the delta stream).
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    timers: Dict[str, Dict[str, float]] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for payload in payloads:
+        for name, delta in payload.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + delta
+        gauges.update(payload.get("gauges", {}))
+        for name, stat in payload.get("timers", {}).items():
+            into = timers.setdefault(name, {"count": 0, "total": 0.0})
+            into["count"] += stat["count"]
+            into["total"] += stat["total"]
+        for name, data in payload.get("histograms", {}).items():
+            into = histograms.get(name)
+            if into is None:
+                histograms[name] = {
+                    "bounds": list(data["bounds"]),
+                    "counts": list(data["counts"]),
+                    "count": data["count"],
+                    "sum": data["sum"],
+                    "min": data["min"],
+                    "max": data["max"],
+                }
+                continue
+            for index, bucket in enumerate(data["counts"]):
+                into["counts"][index] += bucket
+            into["count"] += data["count"]
+            into["sum"] += data["sum"]
+            into["min"] = data["min"]
+            into["max"] = data["max"]
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "timers": timers,
+        "histograms": histograms,
+    }

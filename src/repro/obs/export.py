@@ -6,11 +6,18 @@ Three consumers, three formats, one input — the plain-dict payload of
 - :func:`to_json` / :func:`write_json` — the archival format; loads back
   with ``json.loads`` into exactly the snapshot structure.
 - :func:`to_prometheus` / :func:`write_prometheus` — the scrape format:
-  counters become ``repro_<name>_total``, gauges ``repro_<name>``, and
-  timers a ``summary`` pair ``_seconds_count``/``_seconds_sum`` plus
-  ``_seconds_min``/``_seconds_max`` gauges.  Values print with ``repr`` so
-  they parse back bit-identically (:func:`parse_prometheus` is the
-  round-trip used by the test suite).
+  counters become ``repro_<name>_total``, gauges ``repro_<name>``, timers
+  a ``summary`` pair ``_seconds_count``/``_seconds_sum`` plus
+  ``_seconds_min``/``_seconds_max`` gauges, and fixed-bucket histograms a
+  ``# TYPE ... histogram`` family: cumulative ``_bucket{le="..."}`` lines
+  ending in ``le="+Inf"``, ``_count``/``_sum``, and ``{quantile="..."}``
+  p50/p90/p99 estimate lines.  Values print with ``repr`` so they parse
+  back bit-identically (:func:`parse_prometheus` is the round-trip used
+  by the test suite; labelled samples key as ``name{labels}`` verbatim).
+- :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` JSON object for a :class:`repro.obs.tracing.TraceLog`,
+  loadable in ``chrome://tracing`` or Perfetto (request umbrella spans
+  nest their phase spans by time containment on one track).
 - :func:`render_phase_table` — a terminal phase breakdown in the style of
   :mod:`repro.analysis.ascii_plot`: one row per span path, indented by
   nesting depth, with call counts, total/mean seconds, and the share of
@@ -21,13 +28,17 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Dict, List, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.obs.window import FixedBucketHistogram
 
 __all__ = [
     "parse_prometheus",
     "render_phase_table",
+    "to_chrome_trace",
     "to_json",
     "to_prometheus",
+    "write_chrome_trace",
     "write_json",
     "write_prometheus",
 ]
@@ -35,8 +46,10 @@ __all__ = [
 #: Characters Prometheus metric names may not contain.
 _SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
 
-#: One sample line: ``name value``.
-_SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*) (\S+)$")
+#: One sample line: ``name{optional labels} value``.
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$"
+)
 
 
 def _metric_name(name: str, suffix: str = "") -> str:
@@ -81,6 +94,27 @@ def to_prometheus(snapshot: Mapping[str, Mapping]) -> str:
         lines.append(f"{metric}_min {stat['min']!r}")
         lines.append(f"# TYPE {metric}_max gauge")
         lines.append(f"{metric}_max {stat['max']!r}")
+    for name in sorted(snapshot.get("histograms", {})):
+        data = snapshot["histograms"][name]
+        metric = _metric_name(name)
+        lines.append(f"# HELP {metric} repro histogram {name}")
+        lines.append(f"# TYPE {metric} histogram")
+        running = 0
+        for bound, bucket in zip(data["bounds"], data["counts"]):
+            running += int(bucket)
+            lines.append(f'{metric}_bucket{{le="{bound!r}"}} {running!r}')
+        running += int(data["counts"][len(data["bounds"])])
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {running!r}')
+        lines.append(f"{metric}_count {data['count']!r}")
+        lines.append(f"{metric}_sum {data['sum']!r}")
+        estimator = FixedBucketHistogram(data["bounds"])
+        estimator.merge(data)
+        for q, value in (
+            (0.5, estimator.quantile(0.5)),
+            (0.9, estimator.quantile(0.9)),
+            (0.99, estimator.quantile(0.99)),
+        ):
+            lines.append(f'{metric}{{quantile="{q!r}"}} {value!r}')
     return "\n".join(lines) + "\n"
 
 
@@ -93,6 +127,11 @@ def write_prometheus(snapshot: Mapping[str, Mapping], path: str) -> None:
 def parse_prometheus(text: str) -> Dict[str, float]:
     """Parse exposition text back into ``{metric_name: value}``.
 
+    Labelled samples — histogram ``_bucket{le="..."}`` lines and
+    ``{quantile="..."}`` estimate lines — key as ``name{labels}`` with the
+    label block verbatim, so a render → parse → render cycle is the
+    identity.  (``+Inf`` bucket values parse fine: ``float("+Inf")`` is
+    well-defined, though bucket *counts* are what follows the label.)
     Comment/``# TYPE`` lines are skipped; malformed sample lines raise
     ``ValueError`` — which is what makes this the exporter's validity
     check, not just its inverse.
@@ -105,8 +144,36 @@ def parse_prometheus(text: str) -> Dict[str, float]:
         match = _SAMPLE.match(line)
         if match is None:
             raise ValueError(f"invalid Prometheus sample line: {line!r}")
-        values[match.group(1)] = float(match.group(2))
+        key = match.group(1) + (match.group(2) or "")
+        values[key] = float(match.group(3))
     return values
+
+
+def to_chrome_trace(
+    log: Union[Any, Sequence[Mapping[str, Any]]],
+) -> Dict[str, Any]:
+    """Build the Chrome ``trace_event`` JSON object for a trace log.
+
+    Accepts a :class:`repro.obs.tracing.TraceLog` (anything with a
+    ``chrome_events()`` method) or an already-built event list.  The
+    result loads directly in ``chrome://tracing`` / Perfetto: request
+    umbrella spans and their phase spans share one pid/tid track and nest
+    by time containment.
+    """
+    events = getattr(log, "chrome_events", None)
+    return {
+        "traceEvents": list(events() if events is not None else log),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(
+    log: Union[Any, Sequence[Mapping[str, Any]]], path: str
+) -> None:
+    """Write :func:`to_chrome_trace` output as JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(log), handle)
+        handle.write("\n")
 
 
 def _compact(value: float) -> str:

@@ -24,7 +24,9 @@ parent so ``--workers N`` reports the same totals as a serial run).
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.obs.window import DEFAULT_LATENCY_BOUNDS, FixedBucketHistogram
 
 __all__ = [
     "MetricsRegistry",
@@ -37,6 +39,7 @@ __all__ = [
     "enable",
     "enabled",
     "gauge",
+    "hist",
     "inc",
     "merge",
     "observe",
@@ -88,6 +91,11 @@ class TimerStat:
         )
 
 
+#: Bound once so the span hot path pays a global load, not an attribute
+#: chain, for every timestamp.
+_now = time.perf_counter
+
+
 class _NullSpan:
     """Shared do-nothing context manager for the disabled fast path."""
 
@@ -96,7 +104,7 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, exc_type=None, exc=None, tb=None) -> bool:
         return False
 
 
@@ -111,27 +119,44 @@ class Span:
     exiting pops it and records the elapsed wall time under that path.
     Exceptions propagate (the duration is still recorded), so a span is
     safe around code that may raise ``InfeasibleRequestError`` and friends.
+
+    Instances are recycled per name via the registry's span pool (the
+    streaming-overhead contract counts every allocation on the hot path),
+    so ``_active`` guards the rare recursive re-entry of one name: a live
+    pooled span is never handed out twice.
     """
 
-    __slots__ = ("_registry", "name", "path", "_start")
+    __slots__ = ("_registry", "name", "path", "_start", "_active")
 
     def __init__(self, registry: "MetricsRegistry", name: str) -> None:
         self._registry = registry
         self.name = name
         self.path = name
         self._start = 0.0
+        self._active = False
 
     def __enter__(self) -> "Span":
+        self._active = True
         stack = self._registry._span_stack
         self.path = f"{stack[-1]}.{self.name}" if stack else self.name
         stack.append(self.path)
-        self._start = time.perf_counter()
+        self._start = _now()
         return self
 
-    def __exit__(self, *exc) -> bool:
-        elapsed = time.perf_counter() - self._start
-        self._registry._span_stack.pop()
-        self._registry.observe(self.path, elapsed)
+    def __exit__(self, exc_type=None, exc=None, tb=None) -> bool:
+        end = _now()
+        registry = self._registry
+        registry._span_stack.pop()
+        path = self.path
+        stat = registry.timers.get(path)
+        if stat is None:
+            stat = TimerStat()
+            registry.timers[path] = stat
+        stat.add(end - self._start)
+        self._active = False
+        sink = _TRACE_SINK
+        if sink is not None:
+            sink.add_span(path, self._start, end)
         return False
 
 
@@ -145,13 +170,22 @@ class MetricsRegistry:
     parallel runner's totals equal to a serial run's.
     """
 
-    __slots__ = ("counters", "gauges", "timers", "_span_stack")
+    __slots__ = (
+        "counters",
+        "gauges",
+        "timers",
+        "histograms",
+        "_span_stack",
+        "_span_pool",
+    )
 
     def __init__(self) -> None:
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self.timers: Dict[str, TimerStat] = {}
+        self.histograms: Dict[str, FixedBucketHistogram] = {}
         self._span_stack: List[str] = []
+        self._span_pool: Dict[str, Span] = {}
 
     # -- recording ------------------------------------------------------
     def inc(self, name: str, amount: float = 1.0) -> None:
@@ -170,9 +204,50 @@ class MetricsRegistry:
             self.timers[name] = stat
         stat.add(value)
 
+    def histogram(
+        self, name: str, bounds: Optional[Iterable[float]] = None
+    ) -> FixedBucketHistogram:
+        """Get (or create with ``bounds``) the histogram named ``name``.
+
+        ``bounds`` only matters at creation; an existing histogram keeps
+        its ladder (re-registration with different bounds is ignored, the
+        same way a counter's first increment fixes its identity).
+        """
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = FixedBucketHistogram(
+                DEFAULT_LATENCY_BOUNDS if bounds is None else bounds
+            )
+            self.histograms[name] = histogram
+        return histogram
+
+    def hist(
+        self,
+        name: str,
+        value: float,
+        bounds: Optional[Iterable[float]] = None,
+    ) -> None:
+        """Fold one observation into histogram ``name`` (creating it)."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histogram(name, bounds)
+        histogram.observe(value)
+
     def span(self, name: str) -> Span:
-        """Return a context manager timing one (possibly nested) phase."""
-        return Span(self, name)
+        """Return a context manager timing one (possibly nested) phase.
+
+        Spans are pooled per name: the hot decision loop opens the same
+        few names thousands of times per run, and recycling the instance
+        keeps the per-span cost to dict lookups and two clock reads.  A
+        name that is re-entered while still live (recursion) gets a fresh
+        instance, so nesting stays correct.
+        """
+        pooled = self._span_pool.get(name)
+        if pooled is not None and not pooled._active:
+            return pooled
+        pooled = Span(self, name)
+        self._span_pool[name] = pooled
+        return pooled
 
     # -- aggregation ----------------------------------------------------
     def snapshot(self) -> Dict[str, Dict]:
@@ -182,6 +257,10 @@ class MetricsRegistry:
             "gauges": dict(self.gauges),
             "timers": {
                 name: stat.as_dict() for name, stat in self.timers.items()
+            },
+            "histograms": {
+                name: histogram.as_dict()
+                for name, histogram in self.histograms.items()
             },
         }
 
@@ -210,6 +289,12 @@ class MetricsRegistry:
                 stat.min = data["min"]
             if data["max"] > stat.max:
                 stat.max = data["max"]
+        for name, data in snap.get("histograms", {}).items():
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = FixedBucketHistogram(data["bounds"])
+                self.histograms[name] = histogram
+            histogram.merge(data)
 
     def clear(self) -> None:
         """Drop every metric (the span stack survives: clears mid-span are
@@ -217,6 +302,7 @@ class MetricsRegistry:
         self.counters.clear()
         self.gauges.clear()
         self.timers.clear()
+        self.histograms.clear()
 
     def __repr__(self) -> str:
         return (
@@ -230,6 +316,17 @@ _REGISTRY = MetricsRegistry()
 
 #: Global enable flag — the *only* state the disabled hot path reads.
 _ENABLED = False
+
+#: The active trace log (an object with ``add_span(path, start, end)``),
+#: installed by :func:`repro.obs.tracing.start_trace`.  ``None`` while
+#: tracing is off, so a closing span pays one global read to find out.
+_TRACE_SINK = None
+
+
+def _set_trace_sink(sink) -> None:
+    """Install (or clear, with ``None``) the span trace sink."""
+    global _TRACE_SINK
+    _TRACE_SINK = sink
 
 
 def enable() -> None:
@@ -258,7 +355,7 @@ def span(name: str):
     """Time a phase: ``with span("kmb"): ...`` — no-op when disabled."""
     if not _ENABLED:
         return NULL_SPAN
-    return Span(_REGISTRY, name)
+    return _REGISTRY.span(name)
 
 
 def inc(name: str, amount: float = 1.0) -> None:
@@ -281,6 +378,17 @@ def observe(name: str, value: float) -> None:
     if not _ENABLED:
         return
     _REGISTRY.observe(name, value)
+
+
+def hist(
+    name: str, value: float, bounds: Optional[Iterable[float]] = None
+) -> None:
+    """Fold one observation into a fixed-bucket histogram — no-op when
+    disabled.  ``bounds`` only applies if the histogram does not exist yet
+    (see :meth:`MetricsRegistry.histogram`)."""
+    if not _ENABLED:
+        return
+    _REGISTRY.hist(name, value, bounds)
 
 
 def snapshot() -> Dict[str, Dict]:
@@ -306,14 +414,18 @@ def counters() -> Dict[str, float]:
 def counters_since(before: Optional[Mapping[str, float]]) -> Dict[str, float]:
     """Counter deltas accumulated since a :func:`counters` baseline.
 
-    Returns only the counters that changed; with ``before=None`` (telemetry
+    Returns only the counters that *grew*; with ``before=None`` (telemetry
     was disabled when the baseline would have been taken) returns ``{}``.
+    Deltas are floored at zero: a counter that appears only in the
+    ``before`` baseline (or shrank below it) — e.g. because the registry
+    was :func:`reset` between the two readings — contributes nothing
+    instead of a negative delta or a ``KeyError``.
     """
     if before is None:
         return {}
     delta: Dict[str, float] = {}
     for name, value in _REGISTRY.counters.items():
         changed = value - before.get(name, 0.0)
-        if changed:
+        if changed > 0:
             delta[name] = changed
     return delta

@@ -1,0 +1,231 @@
+"""Per-request trace spans: a bounded, exportable run timeline.
+
+Aggregates (counters, histograms, phase timers) answer "how much"; a
+causality question — *why did request 4821 take 40 ms?* — needs the raw
+timeline.  This module captures one when asked:
+
+- :func:`start_trace` installs a :class:`TraceLog` as the registry's span
+  sink: from then on every closing :class:`repro.obs.registry.Span`
+  appends a ``(path, start, end, request_id)`` record, at the cost of one
+  ``None`` check per span while tracing is off.
+- :func:`request_scope` threads the request id: the simulation engine (and
+  the solvers/repair strategies, for direct invocations) wraps each
+  request's work in ``with request_scope(rid):`` so the spans and instant
+  events recorded inside carry that id, and the scope itself becomes a
+  ``request <rid>`` umbrella span in the exported timeline.
+- :func:`trace_instant` marks point events — admissions, rejections,
+  failures, emitter flushes — that interleave with the spans.
+
+The log is **bounded**: past ``max_events`` records new events are counted
+in :attr:`TraceLog.dropped` and discarded (keeping the earliest window, so
+nesting stays self-consistent).  Export goes through
+:func:`repro.obs.export.to_chrome_trace`, producing Chrome ``trace_event``
+JSON that loads directly in ``chrome://tracing`` or Perfetto with the
+request umbrellas nesting their phase spans.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.obs.registry import NULL_SPAN, _set_trace_sink
+
+__all__ = [
+    "TraceLog",
+    "active_trace",
+    "current_request",
+    "request_scope",
+    "start_trace",
+    "stop_trace",
+    "trace_instant",
+]
+
+#: Default event capacity: ~4 spans/request keeps a 50k-request run whole.
+DEFAULT_MAX_EVENTS = 200_000
+
+
+class TraceLog:
+    """A bounded in-memory timeline of spans and instant events.
+
+    Spans arrive from two producers: closing registry spans (via the
+    sink hook) and closing :func:`request_scope` umbrellas.  All
+    timestamps are ``time.perf_counter()`` readings; export rebases them
+    onto the log's ``t0`` so a trace starts at zero.
+    """
+
+    __slots__ = ("max_events", "spans", "instants", "dropped", "t0", "_stack")
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        #: ``(path, start, end, request_id)`` per completed span.
+        self.spans: List[Tuple[str, float, float, Optional[Hashable]]] = []
+        #: ``(name, ts, request_id, args)`` per point event.
+        self.instants: List[
+            Tuple[str, float, Optional[Hashable], Dict[str, Any]]
+        ] = []
+        self.dropped = 0
+        self.t0 = time.perf_counter()
+        self._stack: List[Hashable] = []
+
+    # -- recording ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants)
+
+    def _full(self) -> bool:
+        if len(self) >= self.max_events:
+            self.dropped += 1
+            return True
+        return False
+
+    def add_span(self, path: str, start: float, end: float) -> None:
+        """Record one completed phase span (the registry sink hook)."""
+        if self._full():
+            return
+        request_id = self._stack[-1] if self._stack else None
+        self.spans.append((path, start, end, request_id))
+
+    def add_request_span(
+        self, request_id: Hashable, start: float, end: float
+    ) -> None:
+        """Record the umbrella span for one request scope."""
+        if self._full():
+            return
+        self.spans.append((f"request {request_id}", start, end, request_id))
+
+    def add_instant(self, name: str, **args: Any) -> None:
+        """Record a point event, stamped now, under the active request."""
+        if self._full():
+            return
+        request_id = self._stack[-1] if self._stack else None
+        self.instants.append(
+            (name, time.perf_counter(), request_id, args)
+        )
+
+    def current_request(self) -> Optional[Hashable]:
+        """The innermost active request id (``None`` outside any scope)."""
+        return self._stack[-1] if self._stack else None
+
+    # -- export ---------------------------------------------------------
+    def chrome_events(self) -> List[Dict[str, Any]]:
+        """The timeline as Chrome ``trace_event`` records.
+
+        Complete (``"ph": "X"``) events on one pid/tid, rebased to ``t0``
+        in microseconds, sorted by start time with longer events first on
+        ties — the order Perfetto needs to nest same-track events by
+        containment — plus thread-scoped instant (``"ph": "i"``) events.
+        """
+        events: List[Dict[str, Any]] = []
+        for path, start, end, request_id in self.spans:
+            record: Dict[str, Any] = {
+                "name": path,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (start - self.t0) * 1e6,
+                "dur": max(end - start, 0.0) * 1e6,
+                "pid": 1,
+                "tid": 1,
+            }
+            if request_id is not None:
+                record["args"] = {"request_id": str(request_id)}
+            events.append(record)
+        for name, ts, request_id, args in self.instants:
+            payload = {str(k): v for k, v in args.items()}
+            if request_id is not None:
+                payload.setdefault("request_id", str(request_id))
+            events.append(
+                {
+                    "name": name,
+                    "cat": "repro",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": (ts - self.t0) * 1e6,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": payload,
+                }
+            )
+        events.sort(key=lambda e: (e["ts"], -e.get("dur", 0.0)))
+        return events
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceLog(spans={len(self.spans)}, "
+            f"instants={len(self.instants)}, dropped={self.dropped})"
+        )
+
+
+class _RequestScope:
+    """Context manager pushing one request id onto the active trace."""
+
+    __slots__ = ("_log", "_request_id", "_start")
+
+    def __init__(self, log: TraceLog, request_id: Hashable) -> None:
+        self._log = log
+        self._request_id = request_id
+        self._start = 0.0
+
+    def __enter__(self) -> "_RequestScope":
+        self._log._stack.append(self._request_id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end = time.perf_counter()
+        self._log._stack.pop()
+        self._log.add_request_span(self._request_id, self._start, end)
+        return False
+
+
+#: The active trace log; ``None`` while tracing is off.
+_ACTIVE: Optional[TraceLog] = None
+
+
+def start_trace(max_events: int = DEFAULT_MAX_EVENTS) -> TraceLog:
+    """Begin capturing a timeline; returns the (bounded) live log."""
+    global _ACTIVE
+    _ACTIVE = TraceLog(max_events)
+    _set_trace_sink(_ACTIVE)
+    return _ACTIVE
+
+
+def stop_trace() -> Optional[TraceLog]:
+    """Stop capturing; returns the finished log (``None`` if never started)."""
+    global _ACTIVE
+    log = _ACTIVE
+    _ACTIVE = None
+    _set_trace_sink(None)
+    return log
+
+
+def active_trace() -> Optional[TraceLog]:
+    """The live trace log, or ``None``."""
+    return _ACTIVE
+
+
+def request_scope(request_id: Hashable):
+    """Scope all spans/instants recorded inside to ``request_id``.
+
+    A shared no-op context manager is returned while tracing is off, so
+    engine loops call this unconditionally at one ``None`` check per
+    request.
+    """
+    log = _ACTIVE
+    if log is None:
+        return NULL_SPAN
+    return _RequestScope(log, request_id)
+
+
+def trace_instant(name: str, **args: Any) -> None:
+    """Mark a point event on the timeline — no-op while tracing is off."""
+    log = _ACTIVE
+    if log is not None:
+        log.add_instant(name, **args)
+
+
+def current_request() -> Optional[Hashable]:
+    """The request id the active scope carries (``None`` if none)."""
+    log = _ACTIVE
+    return log.current_request() if log is not None else None

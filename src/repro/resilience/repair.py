@@ -45,7 +45,11 @@ from repro.graph.shortest_paths import dijkstra
 from repro.network.allocation import AllocationTransaction
 from repro.network.controller import Controller, TableCapacityExceededError
 from repro.network.sdn import SDNetwork
-from repro.obs import inc as _obs_inc, span as _obs_span
+from repro.obs import (
+    inc as _obs_inc,
+    span as _obs_span,
+    trace_instant as _obs_instant,
+)
 from repro.resilience.impact import ImpactReport, processed_reachable
 from repro.workload.request import MulticastRequest
 
@@ -213,6 +217,11 @@ class DropAffected(RepairStrategy):
         with _obs_span("repair_drop"):
             self._teardown(context, active)
             _obs_inc("resilience.repair.dropped")
+        _obs_instant(
+            "repair.outcome",
+            action=RepairAction.DROPPED.value,
+            request_id=str(active.request_id),
+        )
         return RepairResult(
             active.request_id, RepairAction.DROPPED, 0.0, None
         )
@@ -234,6 +243,11 @@ class FullReadmit(RepairStrategy):
             result = self._readmit(context, active.request)
             if result.action is RepairAction.READMITTED:
                 _obs_inc("resilience.repair.readmitted")
+        _obs_instant(
+            "repair.outcome",
+            action=result.action.value,
+            request_id=str(active.request_id),
+        )
         return result
 
 
@@ -272,14 +286,22 @@ class SubtreeGraft(RepairStrategy):
             if impact.chain_severed:
                 _obs_inc("resilience.repair.graft_chain_severed")
                 self._teardown(context, active)
-                return self._readmit(context, active.request)
-            grafted = self._try_graft(context, active, impact)
-            if grafted is not None:
-                _obs_inc("resilience.repair.grafted")
-                return grafted
-            _obs_inc("resilience.repair.graft_fallback")
-            self._teardown(context, active)
-            return self._readmit(context, active.request)
+                result = self._readmit(context, active.request)
+            else:
+                grafted = self._try_graft(context, active, impact)
+                if grafted is not None:
+                    _obs_inc("resilience.repair.grafted")
+                    result = grafted
+                else:
+                    _obs_inc("resilience.repair.graft_fallback")
+                    self._teardown(context, active)
+                    result = self._readmit(context, active.request)
+        _obs_instant(
+            "repair.outcome",
+            action=result.action.value,
+            request_id=str(active.request_id),
+        )
+        return result
 
     # ------------------------------------------------------------------
     # graft mechanics

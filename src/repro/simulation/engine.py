@@ -35,12 +35,17 @@ from repro.exceptions import InfeasibleRequestError
 from repro.network.controller import Controller, TableCapacityExceededError
 from repro.network.sdn import SDNetwork
 from repro.obs import (
+    DEFAULT_COST_BOUNDS as _COST_BOUNDS,
     counters as _obs_counters,
     counters_since as _obs_counters_since,
     enabled as _obs_enabled,
+    hist as _obs_hist,
     inc as _obs_inc,
+    request_scope as _obs_request,
     span as _obs_span,
+    trace_instant as _obs_instant,
 )
+from repro.obs.emitter import SnapshotEmitter
 from repro.resilience.events import FailureEvent, apply_event
 from repro.resilience.impact import (
     affected_request_ids,
@@ -105,21 +110,26 @@ def run_offline(
     admitting each request on an otherwise idle network.
     """
     stats = OfflineRunStats()
-    before = _obs_counters() if _obs_enabled() else None
+    observing = _obs_enabled()
+    before = _obs_counters() if observing else None
     with _obs_span("run_offline"):
         for request in requests:
             _obs_inc("engine.requests")
-            started = time.perf_counter()
-            try:
-                tree = solver(network, request)
-            except InfeasibleRequestError:
-                stats.infeasible += 1
-                _obs_inc("engine.infeasible")
-                continue
-            finally:
-                elapsed = time.perf_counter() - started
+            with _obs_request(request.request_id):
+                started = time.perf_counter()
+                try:
+                    tree = solver(network, request)
+                except InfeasibleRequestError:
+                    stats.infeasible += 1
+                    _obs_inc("engine.infeasible")
+                    continue
+                finally:
+                    elapsed = time.perf_counter() - started
             stats.solved += 1
             _obs_inc("engine.solved")
+            if observing:
+                _obs_hist("engine.admission_seconds", elapsed)
+                _obs_hist("engine.tree_cost", tree.total_cost, _COST_BOUNDS)
             stats.runtimes.append(elapsed)
             stats.costs.append(tree.total_cost)
             stats.servers_used.append(tree.num_servers)
@@ -140,39 +150,44 @@ def run_sequential_capacitated(
     which the pruned network is infeasible) counts as infeasible.
     """
     stats = OfflineRunStats()
-    before = _obs_counters() if _obs_enabled() else None
+    observing = _obs_enabled()
+    before = _obs_counters() if observing else None
     with _obs_span("run_sequential_capacitated"):
         for request in requests:
             _obs_inc("engine.requests")
-            started = time.perf_counter()
-            try:
-                tree = solver(network, request)
-            except InfeasibleRequestError:
-                stats.infeasible += 1
-                _obs_inc("engine.infeasible")
-                stats.runtimes.append(time.perf_counter() - started)
-                continue
-            elapsed = time.perf_counter() - started
-            transaction = try_allocate(network, tree)
-            if transaction is None:
-                stats.infeasible += 1
-                _obs_inc("engine.infeasible")
-                stats.runtimes.append(elapsed)
-                continue
-            if controller is not None:
+            with _obs_request(request.request_id):
+                started = time.perf_counter()
                 try:
-                    controller.install_tree(
-                        request.request_id, tree.routing_hops(),
-                        list(tree.servers),
-                    )
-                except TableCapacityExceededError:
-                    transaction.release_all()
+                    tree = solver(network, request)
+                except InfeasibleRequestError:
+                    stats.infeasible += 1
+                    _obs_inc("engine.infeasible")
+                    stats.runtimes.append(time.perf_counter() - started)
+                    continue
+                elapsed = time.perf_counter() - started
+                transaction = try_allocate(network, tree)
+                if transaction is None:
                     stats.infeasible += 1
                     _obs_inc("engine.infeasible")
                     stats.runtimes.append(elapsed)
                     continue
+                if controller is not None:
+                    try:
+                        controller.install_tree(
+                            request.request_id, tree.routing_hops(),
+                            list(tree.servers),
+                        )
+                    except TableCapacityExceededError:
+                        transaction.release_all()
+                        stats.infeasible += 1
+                        _obs_inc("engine.infeasible")
+                        stats.runtimes.append(elapsed)
+                        continue
             stats.solved += 1
             _obs_inc("engine.solved")
+            if observing:
+                _obs_hist("engine.admission_seconds", elapsed)
+                _obs_hist("engine.tree_cost", tree.total_cost, _COST_BOUNDS)
             stats.runtimes.append(elapsed)
             stats.costs.append(tree.total_cost)
             stats.servers_used.append(tree.num_servers)
@@ -184,25 +199,52 @@ def run_online(
     algorithm: OnlineAlgorithm,
     requests: Sequence[MulticastRequest],
     controller: Optional[Controller] = None,
+    emitter: Optional[SnapshotEmitter] = None,
 ) -> OnlineRunStats:
-    """Drive an online algorithm over an arrival-only request sequence."""
+    """Drive an online algorithm over an arrival-only request sequence.
+
+    With an ``emitter``, every processed request ticks it so delta
+    snapshots stream out at the emitter's cadence (the final flush stays
+    the caller's responsibility — typically ``emitter.finish()`` or the
+    emitter's context manager).
+    """
     stats = OnlineRunStats()
     network = algorithm.network
-    before = _obs_counters() if _obs_enabled() else None
+    observing = _obs_enabled()
+    before = _obs_counters() if observing else None
     started = time.perf_counter()
     with _obs_span("run_online"):
         for request in requests:
-            decision = algorithm.process(request)
-            if decision.admitted and controller is not None:
-                _install_admitted(algorithm, controller, decision)
-            if decision.admitted:
-                assert decision.tree is not None
-                stats.admitted += 1
-                stats.operational_costs.append(decision.tree.total_cost)
-            else:
-                stats.rejected += 1
-                stats.record_rejection(decision.reason)
-            stats.admitted_timeline.append(stats.admitted)
+            with _obs_request(request.request_id):
+                arrived = time.perf_counter()
+                decision = algorithm.process(request)
+                if decision.admitted and controller is not None:
+                    _install_admitted(algorithm, controller, decision)
+                if observing:
+                    _obs_hist(
+                        "engine.admission_seconds",
+                        time.perf_counter() - arrived,
+                    )
+                if decision.admitted:
+                    assert decision.tree is not None
+                    stats.admitted += 1
+                    cost = decision.tree.total_cost
+                    stats.operational_costs.append(cost)
+                    if observing:
+                        _obs_hist("engine.tree_cost", cost, _COST_BOUNDS)
+                    _obs_instant("engine.admit", cost=cost)
+                else:
+                    stats.rejected += 1
+                    stats.record_rejection(decision.reason)
+                    _obs_instant(
+                        "engine.reject",
+                        reason=decision.reason.value
+                        if decision.reason is not None
+                        else None,
+                    )
+                stats.admitted_timeline.append(stats.admitted)
+            if emitter is not None:
+                emitter.tick()
     stats.total_runtime = time.perf_counter() - started
     stats.final_link_utilization = network.mean_link_utilization()
     stats.final_server_utilization = network.mean_server_utilization()
@@ -214,40 +256,65 @@ def run_online_with_departures(
     algorithm: OnlineAlgorithm,
     events: Iterable[RequestEvent],
     controller: Optional[Controller] = None,
+    emitter: Optional[SnapshotEmitter] = None,
 ) -> OnlineRunStats:
     """Drive an online algorithm over a timed arrival/departure event list.
 
     Departures release the resources of previously admitted requests;
     departures of rejected requests are ignored (they hold nothing).
+    With an ``emitter``, every *arrival* ticks it (departures ride along
+    in whatever flush follows).
     """
     stats = OnlineRunStats()
     network = algorithm.network
     admitted_ids = set()
-    before = _obs_counters() if _obs_enabled() else None
+    observing = _obs_enabled()
+    before = _obs_counters() if observing else None
     started = time.perf_counter()
     with _obs_span("run_online_with_departures"):
         for event in events:
             request = event.request
             if event.kind is EventKind.ARRIVAL:
-                decision = algorithm.process(request)
-                if decision.admitted and controller is not None:
-                    _install_admitted(algorithm, controller, decision)
-                if decision.admitted:
-                    assert decision.tree is not None
-                    admitted_ids.add(request.request_id)
-                    stats.admitted += 1
-                    stats.operational_costs.append(decision.tree.total_cost)
-                else:
-                    stats.rejected += 1
-                    stats.record_rejection(decision.reason)
-                stats.admitted_timeline.append(stats.admitted)
+                with _obs_request(request.request_id):
+                    arrived = time.perf_counter()
+                    decision = algorithm.process(request)
+                    if decision.admitted and controller is not None:
+                        _install_admitted(algorithm, controller, decision)
+                    if observing:
+                        _obs_hist(
+                            "engine.admission_seconds",
+                            time.perf_counter() - arrived,
+                        )
+                    if decision.admitted:
+                        assert decision.tree is not None
+                        admitted_ids.add(request.request_id)
+                        stats.admitted += 1
+                        cost = decision.tree.total_cost
+                        stats.operational_costs.append(cost)
+                        if observing:
+                            _obs_hist("engine.tree_cost", cost, _COST_BOUNDS)
+                        _obs_instant("engine.admit", cost=cost)
+                    else:
+                        stats.rejected += 1
+                        stats.record_rejection(decision.reason)
+                        _obs_instant(
+                            "engine.reject",
+                            reason=decision.reason.value
+                            if decision.reason is not None
+                            else None,
+                        )
+                    stats.admitted_timeline.append(stats.admitted)
+                if emitter is not None:
+                    emitter.tick()
             else:
                 if request.request_id in admitted_ids:
                     _obs_inc("engine.departures")
-                    algorithm.depart(request.request_id)
-                    admitted_ids.discard(request.request_id)
-                    if controller is not None:
-                        controller.uninstall(request.request_id)
+                    with _obs_request(request.request_id):
+                        algorithm.depart(request.request_id)
+                        admitted_ids.discard(request.request_id)
+                        if controller is not None:
+                            controller.uninstall(request.request_id)
+                        _obs_instant("engine.depart")
     stats.total_runtime = time.perf_counter() - started
     stats.final_link_utilization = network.mean_link_utilization()
     stats.final_server_utilization = network.mean_server_utilization()
@@ -272,6 +339,7 @@ def run_online_with_failures(
     controller: Optional[Controller] = None,
     strategy: Optional[RepairStrategy] = None,
     audit: bool = False,
+    emitter: Optional[SnapshotEmitter] = None,
 ) -> ResilienceRunStats:
     """Drive an online algorithm through arrivals, departures, and failures.
 
@@ -312,7 +380,8 @@ def run_online_with_failures(
     #: request_id -> (drop time, destination count) for downtime accounting
     dropped: dict = {}
     horizon = 0.0
-    before = _obs_counters() if _obs_enabled() else None
+    observing = _obs_enabled()
+    before = _obs_counters() if observing else None
     started = time.perf_counter()
     with _obs_span("run_online_with_failures"):
         for event in events:
@@ -323,24 +392,43 @@ def run_online_with_failures(
                 )
             elif event.kind is EventKind.ARRIVAL:
                 request = event.request
-                decision = algorithm.process(request)
-                if decision.admitted and controller is not None:
-                    _install_admitted(algorithm, controller, decision)
-                if decision.admitted:
-                    assert decision.tree is not None
-                    assert decision.transaction is not None
-                    active[request.request_id] = ActiveRequest(
-                        request=request,
-                        tree=decision.tree,
-                        transaction=decision.transaction,
-                        via_algorithm=True,
-                    )
-                    stats.admitted += 1
-                    stats.operational_costs.append(decision.tree.total_cost)
-                else:
-                    stats.rejected += 1
-                    stats.record_rejection(decision.reason)
-                stats.admitted_timeline.append(stats.admitted)
+                with _obs_request(request.request_id):
+                    arrived = time.perf_counter()
+                    decision = algorithm.process(request)
+                    if decision.admitted and controller is not None:
+                        _install_admitted(algorithm, controller, decision)
+                    if observing:
+                        _obs_hist(
+                            "engine.admission_seconds",
+                            time.perf_counter() - arrived,
+                        )
+                    if decision.admitted:
+                        assert decision.tree is not None
+                        assert decision.transaction is not None
+                        active[request.request_id] = ActiveRequest(
+                            request=request,
+                            tree=decision.tree,
+                            transaction=decision.transaction,
+                            via_algorithm=True,
+                        )
+                        stats.admitted += 1
+                        cost = decision.tree.total_cost
+                        stats.operational_costs.append(cost)
+                        if observing:
+                            _obs_hist("engine.tree_cost", cost, _COST_BOUNDS)
+                        _obs_instant("engine.admit", cost=cost)
+                    else:
+                        stats.rejected += 1
+                        stats.record_rejection(decision.reason)
+                        _obs_instant(
+                            "engine.reject",
+                            reason=decision.reason.value
+                            if decision.reason is not None
+                            else None,
+                        )
+                    stats.admitted_timeline.append(stats.admitted)
+                if emitter is not None:
+                    emitter.tick()
             else:
                 request = event.request
                 record = active.pop(request.request_id, None)
@@ -414,7 +502,11 @@ def _handle_failure_event(
             stats.broken_requests += 1
             _obs_inc("engine.broken_requests")
             record = active.pop(rid)
-            result = strategy.repair(context, record, impact)
+            with _obs_request(rid):
+                result = strategy.repair(context, record, impact)
+                _obs_instant(
+                    "engine.repair", action=result.action.value
+                )
             stats.record_repair(result.action.value)
             if result.active is not None:
                 active[rid] = result.active

@@ -30,8 +30,11 @@ worker-local registry, snapshots it into the returned payload, and the
 parent merges the snapshots *in submission order* — so ``--workers N``
 reports exactly the counter totals a serial run accumulates in place (the
 merge rules in :meth:`repro.obs.MetricsRegistry.merge` are additive for
-counters and timers).  With recording disabled, the pool path is untouched
-and pays nothing.
+counters, timers, *and* fixed-bucket histograms: bucket counts are
+integers, so any worker partition of a deterministic value stream merges
+to bit-identical counts — wall-clock-valued histograms agree on total
+count only).  With recording disabled, the pool path is untouched and
+pays nothing.
 """
 
 from __future__ import annotations

@@ -30,8 +30,11 @@ from repro.obs import (
     counters as _obs_counters,
     counters_since as _obs_counters_since,
     enabled as _obs_enabled,
+    request_scope as _obs_request,
     span as _obs_span,
+    trace_instant as _obs_instant,
 )
+from repro.obs.emitter import SnapshotEmitter
 from repro.simulation.metrics import OnlineRunStats
 from repro.workload.request import MulticastRequest
 
@@ -96,6 +99,14 @@ class TraceRecorder:
             server_utilization=network.mean_server_utilization(),
         )
         self._events.append(event)
+        # Mirror the decision onto the obs timeline (no-op unless a
+        # trace is active), unifying recorder events with phase spans.
+        _obs_instant(
+            "trace.decision",
+            admitted=event.admitted,
+            reason=event.reason,
+            operational_cost=event.operational_cost,
+        )
         return event
 
     @property
@@ -200,6 +211,7 @@ def record_online_run(
     algorithm: OnlineAlgorithm,
     requests: Sequence[MulticastRequest],
     recorder=_DEFAULT_RECORDER,
+    emitter: Optional[SnapshotEmitter] = None,
 ) -> tuple:
     """Like :func:`repro.simulation.run_online`, but with a full trace.
 
@@ -210,6 +222,8 @@ def record_online_run(
             one is created.  Pass ``None`` to disable tracing — the run
             then uses the shared :data:`NULL_RECORDER` and skips all
             per-event snapshot work without any per-decision branching.
+        emitter: an optional :class:`~repro.obs.emitter.SnapshotEmitter`
+            ticked once per request, exactly as in the engine runners.
 
     Returns ``(stats, recorder)``.
     """
@@ -222,16 +236,19 @@ def record_online_run(
     started = time.perf_counter()
     with _obs_span("record_online_run"):
         for request in requests:
-            decision = algorithm.process(request)
-            recorder.record(algorithm, decision)
-            if decision.admitted:
-                assert decision.tree is not None
-                stats.admitted += 1
-                stats.operational_costs.append(decision.tree.total_cost)
-            else:
-                stats.rejected += 1
-                stats.record_rejection(decision.reason)
-            stats.admitted_timeline.append(stats.admitted)
+            with _obs_request(request.request_id):
+                decision = algorithm.process(request)
+                recorder.record(algorithm, decision)
+                if decision.admitted:
+                    assert decision.tree is not None
+                    stats.admitted += 1
+                    stats.operational_costs.append(decision.tree.total_cost)
+                else:
+                    stats.rejected += 1
+                    stats.record_rejection(decision.reason)
+                stats.admitted_timeline.append(stats.admitted)
+            if emitter is not None:
+                emitter.tick()
     stats.total_runtime = time.perf_counter() - started
     network = algorithm.network
     stats.final_link_utilization = network.mean_link_utilization()

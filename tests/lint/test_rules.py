@@ -375,6 +375,37 @@ class TestRL007WallClock:
         """
         assert lint(snippet, "src/repro/obs/registry.py") == []
 
+    def test_obs_window_module_trips(self):
+        # windowed aggregates must be pure functions of the event stream:
+        # the obs-package exemption does NOT extend to obs/window.py
+        snippet = """
+            import time
+
+            def observe_now():
+                return time.monotonic()
+        """
+        assert rule_ids(lint(snippet, "src/repro/obs/window.py")) == ["RL007"]
+
+    def test_obs_emitter_module_trips_without_pragma(self):
+        snippet = """
+            import time
+
+            def due():
+                return time.monotonic()
+        """
+        assert rule_ids(lint(snippet, "src/repro/obs/emitter.py")) == ["RL007"]
+
+    def test_obs_emitter_file_pragma_suppresses(self):
+        # the real emitter carries exactly this justified file-level pragma
+        snippet = """
+            # repro-lint: disable-file=RL007 -- flush timer is wall time
+            import time
+
+            def due():
+                return time.monotonic()
+        """
+        assert lint(snippet, "src/repro/obs/emitter.py") == []
+
     def test_sleep_passes(self):
         clean = """
             import time

@@ -1,0 +1,191 @@
+"""Unit tests for the live dashboard: state folding, rendering, watch."""
+
+import io
+import json
+
+from repro.obs.dashboard import DashboardState, render, sparkline, watch
+
+
+def _payload(seq, **overrides):
+    payload = {
+        "seq": seq,
+        "reason": "interval",
+        "requests": 10,
+        "total_requests": (seq + 1) * 10,
+        "counters": {},
+        "gauges": {},
+        "timers": {},
+        "histograms": {},
+        "derived": {
+            "window_requests": 10,
+            "window_admitted": 5,
+            "window_admission_rate": 0.5,
+        },
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_uses_lowest_glyph(self):
+        assert sparkline([3.0, 3.0, 3.0]) == "▁▁▁"
+
+    def test_monotone_series_ends_at_full_block(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 3
+
+
+class TestStateFolding:
+    def test_counters_accumulate_across_payloads(self):
+        state = DashboardState()
+        state.consume(_payload(0, counters={"online.decisions": 4.0}))
+        state.consume(_payload(1, counters={"online.decisions": 6.0}))
+        assert state.counters["online.decisions"] == 10.0
+        assert state.payloads == 2
+
+    def test_histograms_merge_delta_payloads(self):
+        state = DashboardState()
+        hist = {
+            "bounds": [1.0],
+            "counts": [2, 1],
+            "count": 3,
+            "sum": 3.5,
+            "min": 0.5,
+            "max": 2.0,
+        }
+        state.consume(_payload(0, histograms={"engine.tree_cost": hist}))
+        state.consume(_payload(1, histograms={"engine.tree_cost": hist}))
+        merged = state.histograms["engine.tree_cost"]
+        assert merged.counts == [4, 2]
+        assert merged.count == 6
+
+    def test_admission_rate_tracks_latest_window(self):
+        state = DashboardState()
+        assert state.admission_rate == 0.0
+        state.consume(_payload(0))
+        assert state.admission_rate == 0.5
+
+    def test_cache_ratios(self):
+        state = DashboardState()
+        state.consume(
+            _payload(
+                0,
+                counters={"spcache.hits": 3.0, "spcache.misses": 1.0},
+            )
+        )
+        ratios = state.cache_ratios()
+        assert ratios["spcache"] == 0.75
+        assert ratios["spregistry"] is None
+
+    def test_trend_history_is_bounded(self):
+        state = DashboardState(trend_width=4)
+        for seq in range(10):
+            state.consume(_payload(seq))
+        assert len(state.rate_history) == 4
+
+
+class TestRender:
+    def test_empty_state_renders_header(self):
+        frame = render(DashboardState())
+        assert "repro watch" in frame
+        assert "no payloads yet" in frame
+
+    def test_admission_panel(self):
+        state = DashboardState()
+        state.consume(
+            _payload(
+                0,
+                counters={
+                    "online.decisions": 10.0,
+                    "online.admitted": 5.0,
+                },
+            )
+        )
+        frame = render(state)
+        assert "admitted 5/10" in frame
+        assert "50.0%" in frame
+
+    def test_latency_and_cost_panels_appear_with_data(self):
+        state = DashboardState()
+        state.consume(
+            _payload(
+                0,
+                histograms={
+                    "engine.admission_seconds": {
+                        "bounds": [0.001, 0.01],
+                        "counts": [5, 3, 0],
+                        "count": 8,
+                        "sum": 0.02,
+                        "min": 0.0002,
+                        "max": 0.009,
+                    },
+                    "engine.tree_cost": {
+                        "bounds": [10.0, 100.0],
+                        "counts": [1, 4, 0],
+                        "count": 5,
+                        "sum": 180.0,
+                        "min": 8.0,
+                        "max": 90.0,
+                    },
+                },
+            )
+        )
+        frame = render(state)
+        assert "latency" in frame
+        assert "p50" in frame and "p99" in frame
+        assert "tree cost" in frame
+
+    def test_rate_trend_sparkline_line(self):
+        state = DashboardState()
+        for seq in range(3):
+            state.consume(_payload(seq))
+        assert "rate trend" in render(state)
+
+
+class TestWatch:
+    def test_reads_stream_and_returns_state(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        payloads = [
+            _payload(0, counters={"online.decisions": 5.0}),
+            _payload(1, counters={"online.decisions": 5.0}),
+        ]
+        path.write_text(
+            "".join(json.dumps(p) + "\n" for p in payloads)
+        )
+        out = io.StringIO()
+        state = watch(str(path), out=out)
+        assert state.payloads == 2
+        assert state.counters["online.decisions"] == 10.0
+        assert out.getvalue().count("repro watch") == 2
+
+    def test_max_frames_bounds_redraws(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            "".join(json.dumps(_payload(s)) + "\n" for s in range(5))
+        )
+        out = io.StringIO()
+        state = watch(str(path), out=out, max_frames=2)
+        assert state.payloads == 2
+
+    def test_follow_stops_on_final_payload(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        payloads = [_payload(0), _payload(1, reason="final")]
+        path.write_text(
+            "".join(json.dumps(p) + "\n" for p in payloads)
+        )
+        out = io.StringIO()
+        state = watch(str(path), follow=True, out=out, poll_seconds=0.01)
+        assert state.last["reason"] == "final"
+
+    def test_empty_file_renders_one_empty_frame(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        out = io.StringIO()
+        state = watch(str(path), out=out)
+        assert state.payloads == 0
+        assert "no payloads yet" in out.getvalue()

@@ -1,0 +1,327 @@
+"""Unit tests for the periodic snapshot emitter and its delta contract."""
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.emitter import (
+    JsonlSink,
+    PrometheusSink,
+    SnapshotEmitter,
+    _exact_delta,
+    sum_deltas,
+)
+from repro.obs.export import parse_prometheus
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    saved = obs.snapshot()
+    was_enabled = obs.enabled()
+    obs.disable()
+    obs.reset()
+    yield
+    obs.reset()
+    obs.merge(saved)
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()
+
+
+class _FakeClock:
+    """Deterministic monotonic clock for the timer trigger."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class _Source:
+    """A mutable snapshot supplier standing in for the registry."""
+
+    def __init__(self):
+        self.snap = {
+            "counters": {},
+            "gauges": {},
+            "timers": {},
+            "histograms": {},
+        }
+
+    def __call__(self):
+        return json.loads(json.dumps(self.snap))  # deep copy
+
+
+class TestExactDelta:
+    def test_trivial_deltas_are_exact(self):
+        assert _exact_delta(5.0, 2.0) == 3.0
+
+    def test_compensates_rounding_to_land_exactly(self):
+        emitted = 1e16
+        current = 1e16 + 3.0  # 3.0 is not representable at this magnitude
+        delta = _exact_delta(current, emitted)
+        assert emitted + delta == current
+
+    def test_many_awkward_magnitudes(self):
+        emitted = 0.0
+        for step in (0.1, 1e-9, 123456.789, 1e12, 0.3333):
+            current = emitted + step
+            delta = _exact_delta(current, emitted)
+            assert emitted + delta == current
+            emitted = current
+
+    def test_nextafter_is_available(self):
+        # the compensation loop relies on stdlib ULP stepping
+        assert math.nextafter(1.0, math.inf) > 1.0
+
+
+class TestTriggers:
+    def test_interval_trigger_counts_ticks(self):
+        source = _Source()
+        emitter = SnapshotEmitter(every_requests=3, source=source)
+        assert emitter.tick() is None
+        assert emitter.tick() is None
+        payload = emitter.tick()
+        assert payload is not None
+        assert payload["reason"] == "interval"
+        assert payload["requests"] == 3
+        assert emitter.seq == 1
+
+    def test_timer_trigger_uses_injected_clock(self):
+        source = _Source()
+        clock = _FakeClock()
+        emitter = SnapshotEmitter(
+            every_requests=None,
+            every_seconds=10.0,
+            source=source,
+            clock=clock,
+        )
+        assert emitter.tick() is None
+        clock.now = 11.0
+        payload = emitter.tick()
+        assert payload is not None
+        assert payload["reason"] == "timer"
+
+    def test_count_trigger_wins_over_timer(self):
+        source = _Source()
+        clock = _FakeClock()
+        emitter = SnapshotEmitter(
+            every_requests=1,
+            every_seconds=10.0,
+            source=source,
+            clock=clock,
+        )
+        clock.now = 100.0
+        assert emitter.tick()["reason"] == "interval"
+
+    def test_tick_batch_counts(self):
+        emitter = SnapshotEmitter(every_requests=10, source=_Source())
+        assert emitter.tick(9) is None
+        assert emitter.tick(1) is not None
+        assert emitter.total_requests == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SnapshotEmitter(every_requests=0)
+        with pytest.raises(ValueError):
+            SnapshotEmitter(every_seconds=0.0)
+        with pytest.raises(ValueError):
+            SnapshotEmitter(ring_size=0)
+
+
+class TestDeltaPayloads:
+    def test_zero_delta_series_are_omitted(self):
+        source = _Source()
+        source.snap["counters"] = {"a": 1.0, "b": 2.0}
+        emitter = SnapshotEmitter(every_requests=1, source=source)
+        first = emitter.flush()
+        assert first["counters"] == {"a": 1.0, "b": 2.0}
+        source.snap["counters"]["a"] = 4.0  # b unchanged
+        second = emitter.flush()
+        assert second["counters"] == {"a": 3.0}
+
+    def test_timer_deltas_carry_count_and_total(self):
+        source = _Source()
+        source.snap["timers"] = {
+            "kmb": {"count": 2, "total": 0.5, "min": 0.1, "max": 0.4},
+        }
+        emitter = SnapshotEmitter(source=source)
+        payload = emitter.flush()
+        assert payload["timers"] == {"kmb": {"count": 2, "total": 0.5}}
+
+    def test_histogram_delta_counts_add_min_max_cumulative(self):
+        source = _Source()
+        source.snap["histograms"] = {
+            "h": {
+                "bounds": [1.0],
+                "counts": [2, 1],
+                "count": 3,
+                "sum": 4.5,
+                "min": 0.5,
+                "max": 3.0,
+            },
+        }
+        emitter = SnapshotEmitter(source=source)
+        first = emitter.flush()
+        assert first["histograms"]["h"]["counts"] == [2, 1]
+        source.snap["histograms"]["h"].update(
+            {"counts": [2, 2], "count": 4, "sum": 6.5, "max": 3.5}
+        )
+        second = emitter.flush()
+        data = second["histograms"]["h"]
+        assert data["counts"] == [0, 1]
+        assert data["count"] == 1
+        # min/max are cumulative take-last values, not deltas
+        assert data["min"] == 0.5
+        assert data["max"] == 3.5
+
+    def test_derived_window_admission_rate(self):
+        source = _Source()
+        source.snap["counters"] = {
+            "online.decisions": 10.0,
+            "online.admitted": 6.0,
+        }
+        emitter = SnapshotEmitter(source=source, rate_window=4)
+        emitter.tick(10)
+        payload = emitter.flush()
+        assert payload["derived"]["window_admission_rate"] == 0.6
+
+    def test_sequence_numbers_increment(self):
+        emitter = SnapshotEmitter(source=_Source())
+        assert emitter.flush()["seq"] == 0
+        assert emitter.flush()["seq"] == 1
+
+
+class TestSummedDeltasBitIdentity:
+    def test_reconstruction_is_bit_for_bit(self):
+        obs.enable()
+        emitter = SnapshotEmitter(every_requests=5)
+        payloads = []
+        rng_values = [0.1, 0.25, 0.7, 1.3, 0.001, 5.5, 0.04, 2.25]
+        for step in range(40):
+            obs.inc("stream.requests")
+            obs.inc("stream.bytes", 1.0 / 3.0)
+            obs.hist("stream.latency", rng_values[step % len(rng_values)])
+            obs.observe("stream.phase", 0.1 + step * 1e-3)
+            payload = emitter.tick()
+            if payload is not None:
+                payloads.append(payload)
+        payloads.append(emitter.finish())
+        final = obs.snapshot()
+        rebuilt = sum_deltas(payloads)
+        assert rebuilt["counters"] == final["counters"]
+        hist = rebuilt["histograms"]["stream.latency"]
+        expected = final["histograms"]["stream.latency"]
+        assert hist["counts"] == expected["counts"]
+        assert hist["count"] == expected["count"]
+        assert hist["sum"] == expected["sum"]
+        assert hist["min"] == expected["min"]
+        assert hist["max"] == expected["max"]
+        timer = rebuilt["timers"]["stream.phase"]
+        assert timer["count"] == expected_count(final, "stream.phase")
+        assert timer["total"] == final["timers"]["stream.phase"]["total"]
+
+    def test_gauges_take_last_value(self):
+        source = _Source()
+        emitter = SnapshotEmitter(source=source)
+        source.snap["gauges"] = {"load": 0.25}
+        p1 = emitter.flush()
+        source.snap["gauges"] = {"load": 0.75}
+        p2 = emitter.flush()
+        assert sum_deltas([p1, p2])["gauges"] == {"load": 0.75}
+
+
+def expected_count(snapshot, name):
+    return snapshot["timers"][name]["count"]
+
+
+class TestFlightRecorder:
+    def test_ring_keeps_only_last_k_payloads(self):
+        emitter = SnapshotEmitter(
+            every_requests=1, ring_size=3, source=_Source()
+        )
+        for _ in range(7):
+            emitter.tick()
+        ring = emitter.ring()
+        assert len(ring) == 3
+        assert [p["seq"] for p in ring] == [4, 5, 6]
+
+    def test_dump_ring_writes_jsonl(self, tmp_path):
+        emitter = SnapshotEmitter(
+            every_requests=1, ring_size=2, source=_Source()
+        )
+        emitter.tick()
+        emitter.tick()
+        target = tmp_path / "ring.jsonl"
+        emitter.dump_ring(str(target))
+        lines = target.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["seq"] == 0
+
+    def test_exception_flushes_and_dumps(self, tmp_path):
+        crash = tmp_path / "crash.jsonl"
+        with pytest.raises(RuntimeError):
+            with SnapshotEmitter(
+                every_requests=1000,
+                source=_Source(),
+                crash_dump_path=str(crash),
+            ) as emitter:
+                emitter.tick()
+                raise RuntimeError("boom")
+        assert emitter.closed
+        dumped = [
+            json.loads(line)
+            for line in crash.read_text().strip().splitlines()
+        ]
+        assert dumped[-1]["reason"] == "exception"
+
+    def test_clean_exit_final_flushes(self):
+        with SnapshotEmitter(source=_Source()) as emitter:
+            emitter.tick()
+        assert emitter.closed
+        assert emitter.ring()[-1]["reason"] == "final"
+
+
+class TestSinks:
+    def test_jsonl_sink_appends_one_line_per_flush(self, tmp_path):
+        target = tmp_path / "stream.jsonl"
+        source = _Source()
+        emitter = SnapshotEmitter(
+            every_requests=1,
+            source=source,
+            sinks=[JsonlSink(str(target))],
+        )
+        source.snap["counters"] = {"a": 1.0}
+        emitter.tick()
+        source.snap["counters"] = {"a": 3.0}
+        emitter.tick()
+        emitter.close()
+        lines = [
+            json.loads(line)
+            for line in target.read_text().strip().splitlines()
+        ]
+        assert [p["counters"] for p in lines] == [{"a": 1.0}, {"a": 2.0}]
+
+    def test_prometheus_sink_rewrites_cumulative_state(self, tmp_path):
+        target = tmp_path / "metrics.prom"
+        source = _Source()
+        source.snap["counters"] = {"stream.requests": 7.0}
+        emitter = SnapshotEmitter(
+            source=source, sinks=[PrometheusSink(str(target))]
+        )
+        emitter.flush()
+        parsed = parse_prometheus(target.read_text())
+        assert parsed["repro_stream_requests_total"] == 7.0
+
+    def test_close_is_idempotent(self, tmp_path):
+        emitter = SnapshotEmitter(
+            source=_Source(),
+            sinks=[JsonlSink(str(tmp_path / "s.jsonl"))],
+        )
+        emitter.close()
+        emitter.close()
+        assert emitter.closed

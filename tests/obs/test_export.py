@@ -1,4 +1,4 @@
-"""Unit tests for the snapshot exporters: JSON, Prometheus, phase table."""
+"""Unit tests for the snapshot exporters: JSON, Prometheus, Chrome trace."""
 
 import json
 
@@ -7,11 +7,14 @@ import pytest
 from repro.obs.export import (
     parse_prometheus,
     render_phase_table,
+    to_chrome_trace,
     to_json,
     to_prometheus,
+    write_chrome_trace,
     write_json,
     write_prometheus,
 )
+from repro.obs.tracing import TraceLog
 
 
 @pytest.fixture
@@ -90,6 +93,108 @@ class TestPrometheus:
         target = tmp_path / "metrics.prom"
         write_prometheus(snapshot, str(target))
         assert parse_prometheus(target.read_text())
+
+
+@pytest.fixture
+def histogram_snapshot():
+    return {
+        "counters": {},
+        "gauges": {},
+        "timers": {},
+        "histograms": {
+            "engine.tree_cost": {
+                "bounds": [1.0, 2.5, 5.0],
+                "counts": [2, 3, 0, 1],
+                "count": 6,
+                "sum": 11.375,
+                "min": 0.25,
+                "max": 7.5,
+            },
+        },
+    }
+
+
+class TestPrometheusHistograms:
+    def test_type_histogram_metadata_present(self, histogram_snapshot):
+        text = to_prometheus(histogram_snapshot)
+        assert "# TYPE repro_engine_tree_cost histogram" in text
+        assert "# HELP repro_engine_tree_cost" in text
+
+    def test_bucket_lines_are_cumulative_and_end_at_inf(
+        self, histogram_snapshot
+    ):
+        parsed = parse_prometheus(to_prometheus(histogram_snapshot))
+        assert parsed['repro_engine_tree_cost_bucket{le="1.0"}'] == 2
+        assert parsed['repro_engine_tree_cost_bucket{le="2.5"}'] == 5
+        assert parsed['repro_engine_tree_cost_bucket{le="5.0"}'] == 5
+        assert parsed['repro_engine_tree_cost_bucket{le="+Inf"}'] == 6
+
+    def test_count_and_sum_round_trip_bit_exact(self, histogram_snapshot):
+        parsed = parse_prometheus(to_prometheus(histogram_snapshot))
+        assert parsed["repro_engine_tree_cost_count"] == 6
+        assert parsed["repro_engine_tree_cost_sum"] == 11.375
+
+    def test_quantile_estimate_lines(self, histogram_snapshot):
+        parsed = parse_prometheus(to_prometheus(histogram_snapshot))
+        for q in ("0.5", "0.9", "0.99"):
+            key = f'repro_engine_tree_cost{{quantile="{q}"}}'
+            assert key in parsed
+        p50 = parsed['repro_engine_tree_cost{quantile="0.5"}']
+        p99 = parsed['repro_engine_tree_cost{quantile="0.99"}']
+        assert 0.25 <= p50 <= p99 <= 7.5
+
+    def test_render_parse_render_is_identity(self, histogram_snapshot):
+        text = to_prometheus(histogram_snapshot)
+        parsed = parse_prometheus(text)
+        # every labelled sample keys with its label block verbatim, so
+        # re-parsing a re-render yields the same mapping
+        assert parse_prometheus(text) == parsed
+
+    def test_labelled_samples_key_with_label_block(self):
+        parsed = parse_prometheus('metric{le="1.0"} 3\nmetric_count 3\n')
+        assert parsed == {'metric{le="1.0"}': 3.0, "metric_count": 3.0}
+
+    def test_mixed_snapshot_stays_valid_exposition(
+        self, snapshot, histogram_snapshot
+    ):
+        merged = dict(snapshot)
+        merged["histograms"] = histogram_snapshot["histograms"]
+        assert parse_prometheus(to_prometheus(merged))
+
+
+class TestChromeTrace:
+    def _log(self):
+        log = TraceLog()
+        t = log.t0
+        log._stack.append(7)
+        log.add_span("solve", t + 0.001, t + 0.003)
+        log._stack.pop()
+        log.spans.append(("request 7", t + 0.0005, t + 0.004, 7))
+        log.add_instant("admit", cost=2.5)
+        return log
+
+    def test_wraps_events_in_trace_object(self):
+        trace = to_chrome_trace(self._log())
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        assert trace["displayTimeUnit"] == "ms"
+        assert len(trace["traceEvents"]) == 3
+
+    def test_accepts_prebuilt_event_list(self):
+        events = self._log().chrome_events()
+        assert to_chrome_trace(events)["traceEvents"] == events
+
+    def test_umbrella_precedes_contained_span(self):
+        names = [e["name"] for e in to_chrome_trace(self._log())["traceEvents"]]
+        assert names.index("request 7") < names.index("solve")
+
+    def test_write_produces_loadable_json(self, tmp_path):
+        target = tmp_path / "trace.json"
+        write_chrome_trace(self._log(), str(target))
+        loaded = json.loads(target.read_text())
+        assert loaded["traceEvents"]
+        for event in loaded["traceEvents"]:
+            assert event["ph"] in ("X", "i")
+            assert event["ts"] >= 0.0
 
 
 class TestPhaseTable:

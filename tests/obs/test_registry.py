@@ -30,8 +30,14 @@ class TestEnableDisable:
         obs.inc("c")
         obs.gauge("g", 4.0)
         obs.observe("t", 0.5)
+        obs.hist("h", 0.1)
         snap = obs.snapshot()
-        assert snap == {"counters": {}, "gauges": {}, "timers": {}}
+        assert snap == {
+            "counters": {},
+            "gauges": {},
+            "timers": {},
+            "histograms": {},
+        }
 
     def test_disabled_span_is_the_shared_singleton(self):
         assert obs.span("anything") is NULL_SPAN
@@ -76,6 +82,31 @@ class TestCountersAndGauges:
         obs.enable()
         obs.inc("a")
         assert obs.counters_since(None) == {}
+
+    def test_counters_since_floors_shrunk_counters_at_zero(self):
+        obs.enable()
+        obs.inc("a", 5.0)
+        before = obs.counters()
+        obs.reset()
+        obs.inc("a", 2.0)  # below the baseline after the reset
+        obs.inc("b", 1.0)
+        assert obs.counters_since(before) == {"b": 1.0}
+
+    def test_counters_since_skips_baseline_only_counters(self):
+        obs.enable()
+        obs.inc("gone", 3.0)
+        before = obs.counters()
+        obs.reset()
+        obs.inc("fresh")
+        delta = obs.counters_since(before)
+        assert "gone" not in delta
+        assert delta == {"fresh": 1.0}
+
+    def test_counters_since_unchanged_counter_contributes_nothing(self):
+        obs.enable()
+        obs.inc("steady", 2.0)
+        before = obs.counters()
+        assert obs.counters_since(before) == {}
 
 
 class TestTimerStat:
@@ -143,6 +174,69 @@ class TestSpans:
         assert "after" in obs.snapshot()["timers"]
 
 
+class TestHistograms:
+    def test_hist_creates_with_default_latency_bounds(self):
+        obs.enable()
+        obs.hist("engine.admission_seconds", 0.002)
+        data = obs.snapshot()["histograms"]["engine.admission_seconds"]
+        assert data["count"] == 1
+        assert sum(data["counts"]) == 1
+
+    def test_hist_custom_bounds_apply_on_creation_only(self):
+        obs.enable()
+        obs.hist("cost", 3.0, bounds=(1.0, 5.0))
+        obs.hist("cost", 4.0, bounds=(2.0, 8.0))  # ignored: already exists
+        data = obs.snapshot()["histograms"]["cost"]
+        assert data["bounds"] == [1.0, 5.0]
+        assert data["count"] == 2
+
+    def test_merge_adds_histogram_payloads(self):
+        first = MetricsRegistry()
+        first.hist("h", 0.5, bounds=(1.0,))
+        second = MetricsRegistry()
+        second.hist("h", 2.0, bounds=(1.0,))
+        first.merge(second.snapshot())
+        data = first.snapshot()["histograms"]["h"]
+        assert data["counts"] == [1, 1]
+        assert data["count"] == 2
+
+    def test_merge_creates_missing_histogram(self):
+        target = MetricsRegistry()
+        source = MetricsRegistry()
+        source.hist("new", 0.5, bounds=(1.0,))
+        target.merge(source.snapshot())
+        assert target.snapshot()["histograms"]["new"]["count"] == 1
+
+    def test_snapshot_is_a_deep_copy(self):
+        obs.enable()
+        obs.hist("h", 0.5, bounds=(1.0,))
+        snap = obs.snapshot()
+        obs.hist("h", 0.5, bounds=(1.0,))
+        assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestSpanPool:
+    def test_same_name_reuses_the_pooled_span(self):
+        registry = MetricsRegistry()
+        first = registry.span("phase")
+        with first:
+            pass
+        assert registry.span("phase") is first
+
+    def test_recursive_reentry_gets_a_fresh_span(self):
+        registry = MetricsRegistry()
+        outer = registry.span("phase")
+        with outer:
+            inner = registry.span("phase")
+            assert inner is not outer
+            with inner:
+                pass
+        timers = {
+            name: stat.count for name, stat in registry.timers.items()
+        }
+        assert timers == {"phase": 1, "phase.phase": 1}
+
+
 class TestSnapshotMerge:
     def test_merge_adds_counters_overwrites_gauges(self):
         first = MetricsRegistry()
@@ -200,5 +294,11 @@ class TestSnapshotMerge:
         obs.inc("calls")
         obs.gauge("load", 1.0)
         obs.observe("kmb", 0.1)
+        obs.hist("cost", 5.0)
         obs.reset()
-        assert obs.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}
+        assert obs.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "timers": {},
+            "histograms": {},
+        }

@@ -1,0 +1,171 @@
+"""Unit tests for the per-request trace spans and Chrome export hooks."""
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import (
+    TraceLog,
+    active_trace,
+    current_request,
+    request_scope,
+    start_trace,
+    stop_trace,
+    trace_instant,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracing():
+    saved = obs.snapshot()
+    was_enabled = obs.enabled()
+    obs.disable()
+    obs.reset()
+    stop_trace()
+    yield
+    stop_trace()
+    obs.reset()
+    obs.merge(saved)
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()
+
+
+class TestLifecycle:
+    def test_start_returns_live_log(self):
+        log = start_trace()
+        assert active_trace() is log
+        assert stop_trace() is log
+        assert active_trace() is None
+
+    def test_stop_without_start_returns_none(self):
+        assert stop_trace() is None
+
+    def test_instants_are_noops_while_off(self):
+        trace_instant("ignored", value=1)
+        assert active_trace() is None
+
+    def test_request_scope_off_is_shared_noop(self):
+        scope = request_scope(1)
+        assert scope is request_scope(2)
+        with scope:
+            pass  # records nothing anywhere
+
+
+class TestRecording:
+    def test_registry_spans_feed_the_log(self):
+        obs.enable()
+        log = start_trace()
+        with obs.span("phase"):
+            pass
+        assert [span[0] for span in log.spans] == ["phase"]
+
+    def test_request_scope_stamps_span_request_ids(self):
+        obs.enable()
+        log = start_trace()
+        with request_scope(42):
+            with obs.span("solve"):
+                pass
+        paths = {span[0]: span[3] for span in log.spans}
+        assert paths["solve"] == 42
+        assert paths["request 42"] == 42
+
+    def test_request_umbrella_covers_inner_span(self):
+        obs.enable()
+        log = start_trace()
+        with request_scope("r1"):
+            with obs.span("inner"):
+                pass
+        spans = {span[0]: span for span in log.spans}
+        _, u_start, u_end, _ = spans["request r1"]
+        _, i_start, i_end, _ = spans["inner"]
+        assert u_start <= i_start
+        assert i_end <= u_end
+
+    def test_nested_scopes_innermost_wins(self):
+        log = start_trace()
+        with request_scope("outer"):
+            assert current_request() == "outer"
+            with request_scope("inner"):
+                assert current_request() == "inner"
+                log.add_instant("mark")
+            assert current_request() == "outer"
+        assert current_request() is None
+        assert log.instants[0][2] == "inner"
+
+    def test_instants_capture_args(self):
+        log = start_trace()
+        trace_instant("engine.admit", cost=12.5)
+        name, _, _, args = log.instants[0]
+        assert name == "engine.admit"
+        assert args == {"cost": 12.5}
+
+
+class TestBounds:
+    def test_log_drops_past_max_events(self):
+        log = TraceLog(max_events=3)
+        for index in range(5):
+            log.add_instant("e", index=index)
+        assert len(log.instants) == 3
+        assert log.dropped == 2
+        # the earliest window is the one kept
+        assert [i[3]["index"] for i in log.instants] == [0, 1, 2]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TraceLog(max_events=0)
+
+    def test_len_counts_both_kinds(self):
+        log = TraceLog()
+        log.add_span("a", 0.0, 1.0)
+        log.add_instant("b")
+        assert len(log) == 2
+
+
+class TestChromeEvents:
+    def test_span_becomes_complete_event(self):
+        log = TraceLog()
+        start = log.t0 + 0.001
+        log.add_span("kmb", start, start + 0.002)
+        (event,) = log.chrome_events()
+        assert event["ph"] == "X"
+        assert event["name"] == "kmb"
+        assert event["ts"] == pytest.approx(1000.0)
+        assert event["dur"] == pytest.approx(2000.0)
+        assert event["pid"] == 1 and event["tid"] == 1
+
+    def test_instant_becomes_thread_scoped_i_event(self):
+        log = TraceLog()
+        log._stack.append(7)
+        log.add_instant("admit", cost=3.0)
+        log._stack.pop()
+        (event,) = log.chrome_events()
+        assert event["ph"] == "i"
+        assert event["s"] == "t"
+        assert event["args"] == {"cost": 3.0, "request_id": "7"}
+
+    def test_explicit_request_id_arg_wins(self):
+        log = TraceLog()
+        log._stack.append(1)
+        log.add_instant("repair", request_id="explicit")
+        log._stack.pop()
+        (event,) = log.chrome_events()
+        assert event["args"]["request_id"] == "explicit"
+
+    def test_events_sorted_for_containment_nesting(self):
+        log = TraceLog()
+        t = log.t0
+        log.add_span("child", t + 0.001, t + 0.002)
+        log.add_span("parent", t + 0.001, t + 0.005)
+        log.add_span("earlier", t, t + 0.0005)
+        names = [e["name"] for e in log.chrome_events()]
+        # same start: the longer (parent) span must come first
+        assert names == ["earlier", "parent", "child"]
+
+    def test_request_ids_exported_as_strings(self):
+        log = TraceLog()
+        log._stack.append(123)
+        log.add_span("solve", log.t0, log.t0 + 0.001)
+        log._stack.pop()
+        (event,) = log.chrome_events()
+        assert event["args"]["request_id"] == "123"
