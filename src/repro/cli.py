@@ -80,7 +80,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--target",
-        choices=("obs", "spcache", "csr", "appro", "stream-obs"),
+        choices=("obs", "spcache", "csr", "appro", "stream-obs", "stream"),
         default="obs",
         help=(
             "what to measure: 'obs' telemetry overhead (default), "
@@ -88,7 +88,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "Dijkstra engine, 'appro' end-to-end dict-path vs CSR-native "
             "Appro_Multi (merges into BENCH_csr.json), 'stream-obs' the "
             "streaming run with histograms + emitter enabled (merges into "
-            "BENCH_obs.json)"
+            "BENCH_obs.json), 'stream' the StreamEngine scale run "
+            "(throughput, RSS flatness, resume + shard differentials)"
         ),
     )
     bench.add_argument(
@@ -159,6 +160,49 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--dashboard", action="store_true",
         help="render the live ASCII dashboard after each flush",
+    )
+    stream.add_argument(
+        "--workload", default=None, metavar="FAMILY",
+        choices=("poisson", "diurnal", "flash-crowd", "pareto", "figure"),
+        help=(
+            "drive the StreamEngine with a generated arrival stream "
+            "(poisson/diurnal/flash-crowd/pareto churn or the unit-spaced "
+            "'figure' series) instead of the materialized replay; "
+            "enables --checkpoint-every/--resume/--shards"
+        ),
+    )
+    stream.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help=(
+            "write a resume checkpoint every N arrivals "
+            "(to --checkpoint, default <out>.ckpt)"
+        ),
+    )
+    stream.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="checkpoint path for --checkpoint-every",
+    )
+    stream.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help=(
+            "resume a killed run from a checkpoint file (topology, "
+            "workload and seed come from the checkpoint)"
+        ),
+    )
+    stream.add_argument(
+        "--shards", type=int, default=None, metavar="S",
+        help=(
+            "split the workload into S independent substreams (each its "
+            "own network replica + derived seed) and merge in shard order"
+        ),
+    )
+    stream.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help=(
+            "process count for --shards (default: REPRO_WORKERS env var, "
+            "else the CPU count); the merged result is identical for "
+            "every value"
+        ),
     )
     _add_graph_backend(stream)
 
@@ -288,8 +332,142 @@ class _DashboardSink:
         print(render(self.state))
 
 
+def _run_stream_engine(args) -> int:
+    """``repro stream --workload …``: the StreamEngine pipeline.
+
+    Generated arrival streams (no materialized request list), optional
+    periodic checkpoints, kill-and-resume, and sharded execution.  The
+    plain ``repro stream`` replay path is untouched.
+    """
+    from repro import obs
+    from repro.stream import (
+        StreamRunConfig,
+        build_engine,
+        load_checkpoint,
+        restore_into,
+        run_sharded,
+        save_checkpoint,
+    )
+
+    workload = args.workload or "poisson"
+    if args.shards is not None and (
+        args.resume is not None or args.checkpoint_every is not None
+    ):
+        print(
+            "error: --shards cannot be combined with "
+            "--checkpoint-every/--resume (shards are independent "
+            "substreams; checkpoint each shard's run separately)",
+            file=sys.stderr,
+        )
+        return 2
+
+    obs.enable()
+    obs.reset()
+    try:
+        if args.shards is not None:
+            config = StreamRunConfig(
+                topology=args.topology.lower(),
+                workload=workload,
+                seed=args.seed,
+                requests=args.requests,
+            )
+            result = run_sharded(
+                config, shards=args.shards, workers=args.workers
+            )
+            merged = result.merged
+            print(
+                f"stream {args.topology} [{workload}]: "
+                f"{merged['processed']} requests across {args.shards} "
+                f"shards, admitted {merged['admitted']}, "
+                f"rejected {merged['rejected']}, "
+                f"departed {merged['departed']}"
+            )
+            print(f"merged digest {merged['digest']}")
+            return 0
+
+        if args.resume is not None:
+            document = load_checkpoint(args.resume)
+            config = StreamRunConfig.from_dict(document.get("meta") or {})
+        else:
+            document = None
+            config = StreamRunConfig(
+                topology=args.topology.lower(),
+                workload=workload,
+                seed=args.seed,
+                requests=args.requests,
+            )
+
+        checkpoint_path = args.checkpoint or (args.out + ".ckpt")
+
+        def _checkpoint_sink(engine) -> None:
+            save_checkpoint(checkpoint_path, engine, meta=config.as_dict())
+
+        sinks = [obs.JsonlSink(args.out)]
+        if args.prom:
+            sinks.append(obs.PrometheusSink(args.prom))
+        if args.dashboard:
+            sinks.append(_DashboardSink())
+        emitter = obs.SnapshotEmitter(
+            every_requests=args.every,
+            every_seconds=args.every_seconds,
+            sinks=sinks,
+            crash_dump_path=args.out + ".crash",
+        )
+        engine = build_engine(
+            config,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_sink=(
+                _checkpoint_sink
+                if args.checkpoint_every is not None
+                else None
+            ),
+            emitter=emitter,
+        )
+        if document is not None:
+            restore_into(engine, document)
+        log = obs.start_trace() if args.trace else None
+        try:
+            with emitter:
+                stats = engine.run()
+        finally:
+            if log is not None:
+                obs.stop_trace()
+        if args.trace:
+            obs.write_chrome_trace(log, args.trace)
+
+        print(
+            f"stream {config.topology} [{config.workload}]: "
+            f"{stats.processed} requests, admitted {stats.admitted}, "
+            f"rejected {stats.rejected}, departed {stats.departed}, "
+            f"peak active {stats.peak_active}, {emitter.seq} snapshots"
+        )
+        print(f"digest {stats.digest}")
+        print(f"wrote {args.out}")
+        if args.prom:
+            print(f"wrote {args.prom}")
+        if args.trace:
+            print(f"wrote {args.trace}")
+        if args.checkpoint_every is not None:
+            print(
+                f"checkpointed to {checkpoint_path} "
+                f"every {args.checkpoint_every} requests"
+            )
+        return 0
+    finally:
+        obs.disable()
+        obs.reset()
+
+
 def _run_stream(args) -> int:
     """``repro stream``: an emitter-instrumented online run."""
+    if (
+        args.workload is not None
+        or args.resume is not None
+        or args.shards is not None
+        or args.checkpoint_every is not None
+    ):
+        return _run_stream_engine(args)
+
     from repro import obs
     from repro.analysis.common import (
         build_real_network,
@@ -396,6 +574,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 quick=args.quick,
             )
             lines = bench.render_speedup_summary(payload)
+        elif args.target == "stream":
+            from repro.stream import bench as stream_bench
+
+            payload = stream_bench.run_stream_scale_benchmark(
+                output_path=output,
+                requests=args.requests,
+                quick=args.quick,
+            )
+            lines = stream_bench.render_stream_scale_summary(payload)
         elif args.target == "stream-obs":
             payload = bench.run_stream_benchmark(
                 output_path=output,

@@ -56,12 +56,24 @@ class OnlineDecision:
 
 
 class OnlineAlgorithm(abc.ABC):
-    """Base class: owns the network, tracks admissions, exposes ``process``."""
+    """Base class: owns the network, tracks admissions, exposes ``process``.
+
+    Attributes:
+        retain_decisions: whether :meth:`process` appends every decision to
+            the :attr:`decisions` history (the default, used by the figure
+            replays and the trace tooling).  Long-running streams set this
+            to ``False`` so memory stays O(active requests); the
+            :attr:`admitted_count` / :attr:`rejected_count` totals are
+            maintained incrementally either way.
+    """
 
     def __init__(self, network: SDNetwork) -> None:
         self._network = network
         self._decisions: List[OnlineDecision] = []
         self._active: Dict[Hashable, OnlineDecision] = {}
+        self._admitted_total = 0
+        self._rejected_total = 0
+        self.retain_decisions: bool = True
 
     @property
     def network(self) -> SDNetwork:
@@ -70,18 +82,31 @@ class OnlineAlgorithm(abc.ABC):
 
     @property
     def decisions(self) -> List[OnlineDecision]:
-        """Every decision made so far, in arrival order."""
+        """Every retained decision made so far, in arrival order.
+
+        Empty when :attr:`retain_decisions` has been switched off.
+        """
         return list(self._decisions)
+
+    @property
+    def decided_count(self) -> int:
+        """Total requests processed (admitted + rejected)."""
+        return self._admitted_total + self._rejected_total
 
     @property
     def admitted_count(self) -> int:
         """How many requests have been admitted (the throughput metric)."""
-        return sum(1 for d in self._decisions if d.admitted)
+        return self._admitted_total
 
     @property
     def rejected_count(self) -> int:
         """How many requests have been rejected."""
-        return sum(1 for d in self._decisions if not d.admitted)
+        return self._rejected_total
+
+    @property
+    def active_count(self) -> int:
+        """How many admitted requests currently hold resources."""
+        return len(self._active)
 
     def process(self, request: MulticastRequest) -> OnlineDecision:
         """Decide on ``request``, reserving resources if admitted."""
@@ -94,12 +119,15 @@ class OnlineAlgorithm(abc.ABC):
                     "an admitted decision must carry a tree and a transaction"
                 )
             self._active[request.request_id] = decision
+            self._admitted_total += 1
             _obs_inc("online.admitted")
         else:
+            self._rejected_total += 1
             _obs_inc("online.rejected")
             if decision.reason is not None:
                 _obs_inc(f"online.rejected.{decision.reason.value}")
-        self._decisions.append(decision)
+        if self.retain_decisions:
+            self._decisions.append(decision)
         return decision
 
     def depart(self, request_id: Hashable) -> None:
@@ -124,6 +152,31 @@ class OnlineAlgorithm(abc.ABC):
             raise SimulationError(
                 f"request {request_id!r} is not currently admitted"
             )
+
+    def adopt_admission(
+        self,
+        request: MulticastRequest,
+        transaction: AllocationTransaction,
+    ) -> None:
+        """Register an externally rebuilt admission (checkpoint restore).
+
+        The stream checkpoint layer re-homes a restored request's
+        already-booked reservations into an adopted transaction (see
+        :meth:`~repro.network.allocation.AllocationTransaction.adopt`) and
+        hands it here so a later :meth:`depart` releases exactly once.  No
+        resources are allocated and no counters move — the restored
+        statistics are the checkpoint's business, not this algorithm's.
+        """
+        if request.request_id in self._active:
+            raise SimulationError(
+                f"request {request.request_id!r} is already admitted"
+            )
+        self._active[request.request_id] = OnlineDecision(
+            request=request,
+            admitted=True,
+            tree=None,
+            transaction=transaction,
+        )
 
     @abc.abstractmethod
     def _decide(self, request: MulticastRequest) -> OnlineDecision:

@@ -281,6 +281,44 @@ class SnapshotEmitter:
         self._last_flush_at = self._clock()
         return payload
 
+    # -- checkpoint support ----------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """JSON-serializable emitter state for checkpoint/restore.
+
+        Captures everything the delta contract depends on — the emitted
+        mirror, the sequence number, tick counts, and the rolling-rate
+        windows — but *not* the sinks, the flight-recorder ring, or the
+        wall-clock anchor (a restored emitter re-arms its timer trigger
+        from "now").  A restored emitter continues the delta stream
+        exactly where the checkpointed one stopped: summing the combined
+        payload streams still rebuilds the cumulative registry bit-for-bit
+        for every value-based metric (wall-clock-valued histograms agree
+        on totals only, as in parallel merges).
+        """
+        return {
+            "emitted": dict(self._emitted),
+            "seq": self._seq,
+            "ticks_total": self._ticks_total,
+            "ticks_since_flush": self._ticks_since_flush,
+            "window_requests": self._window_requests.state(),
+            "window_admitted": self._window_admitted.state(),
+            "window_decisions": self._window_decisions.state(),
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Adopt a :meth:`state` snapshot (the mirror must match the
+        registry contents the caller restored alongside it)."""
+        self._emitted = {
+            key: float(value) for key, value in state["emitted"].items()
+        }
+        self._seq = int(state["seq"])
+        self._ticks_total = int(state["ticks_total"])
+        self._ticks_since_flush = int(state["ticks_since_flush"])
+        self._window_requests.restore(state["window_requests"])
+        self._window_admitted.restore(state["window_admitted"])
+        self._window_decisions.restore(state["window_decisions"])
+        self._last_flush_at = self._clock()
+
     # -- flight recorder -------------------------------------------------
     def ring(self) -> List[Dict[str, Any]]:
         """The last ``ring_size`` payloads, oldest first."""

@@ -292,6 +292,35 @@ class SlidingWindowCounter:
         """How many ticks the window currently spans (≤ ``window``)."""
         return min(self.ticks + 1, self.window)
 
+    def state(self) -> dict:
+        """JSON-serializable snapshot of the ring (checkpoint support)."""
+        return {
+            "window": self.window,
+            "slots": list(self._slots),
+            "head": self._head,
+            "ticks": self.ticks,
+            # The running total is serialized rather than recomputed: the
+            # incremental add/subtract order is part of the bit-identity
+            # contract, and a fresh sum() could differ in the last ulp.
+            "total": self._total,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reset the ring to a :meth:`state` snapshot.
+
+        The snapshot must come from a counter with the same ``window``;
+        the derived total is recomputed from the restored slots.
+        """
+        if state["window"] != self.window:
+            raise ValueError(
+                f"cannot restore a window-{state['window']} snapshot into "
+                f"a window-{self.window} counter"
+            )
+        self._slots = [float(s) for s in state["slots"]]
+        self._head = int(state["head"])
+        self.ticks = int(state["ticks"])
+        self._total = float(state["total"])
+
     def rate(self) -> float:
         """Average amount per covered tick."""
         return self._total / self.covered

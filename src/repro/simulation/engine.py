@@ -197,11 +197,16 @@ def run_sequential_capacitated(
 
 def run_online(
     algorithm: OnlineAlgorithm,
-    requests: Sequence[MulticastRequest],
+    requests: Iterable[MulticastRequest],
     controller: Optional[Controller] = None,
     emitter: Optional[SnapshotEmitter] = None,
 ) -> OnlineRunStats:
-    """Drive an online algorithm over an arrival-only request sequence.
+    """Drive an online algorithm over an arrival-only request iterable.
+
+    ``requests`` may be any iterable — a materialized list (the figure
+    replays) or a lazy generator (long streams); the sequence is consumed
+    exactly once, in order, and the resulting statistics are bit-identical
+    either way (locked by the list-vs-generator differential test).
 
     With an ``emitter``, every processed request ticks it so delta
     snapshots stream out at the emitter's cadence (the final flush stays
@@ -258,8 +263,10 @@ def run_online_with_departures(
     controller: Optional[Controller] = None,
     emitter: Optional[SnapshotEmitter] = None,
 ) -> OnlineRunStats:
-    """Drive an online algorithm over a timed arrival/departure event list.
+    """Drive an online algorithm over a timed arrival/departure iterable.
 
+    ``events`` may be a materialized list or a lazy generator; it is
+    consumed once, in order, with bit-identical results either way.
     Departures release the resources of previously admitted requests;
     departures of rejected requests are ignored (they hold nothing).
     With an ``emitter``, every *arrival* ticks it (departures ride along

@@ -92,6 +92,31 @@ def _serial_map(
     return [func(*args) for args in grid]
 
 
+def _isolated_serial_map(
+    func: Callable[..., Any], grid: Sequence[Tuple]
+) -> List[Any]:
+    """Serial execution with pooled-path registry semantics.
+
+    Each point runs on a *clean* registry and its deltas are merged back
+    afterwards — exactly what :func:`_instrumented_point` does in a worker
+    process.  Point functions that read the registry mid-run (the stream
+    shard runner's per-shard emitters) therefore see identical contents at
+    every worker count, which is what makes merged shard snapshots
+    bit-identical between ``--workers 1`` and ``--workers N``.
+    """
+    results = []
+    for args in grid:
+        parent = _obs_snapshot()
+        _obs_registry().clear()
+        result = func(*args)
+        point = _obs_snapshot()
+        _obs_registry().clear()
+        _obs_merge(parent)
+        _obs_merge(point)
+        results.append(result)
+    return results
+
+
 def _instrumented_point(func: Callable[..., Any], args: Tuple) -> Tuple:
     """Pool task wrapper: run one point with a clean worker registry.
 
@@ -110,6 +135,7 @@ def parallel_map(
     func: Callable[..., Any],
     grid: Sequence[Tuple],
     workers: Optional[int] = None,
+    isolate_registry: bool = False,
 ) -> List[Any]:
     """Evaluate ``func(*args)`` for every ``args`` in ``grid``.
 
@@ -120,6 +146,13 @@ def parallel_map(
         workers: process count; ``None`` uses :func:`default_workers`.
             A count of 1 (or a grid of at most one point) runs serially in
             this process with no pool overhead.
+        isolate_registry: give every point a clean telemetry registry even
+            on the serial path (the pooled path always does), merging each
+            point's deltas back in submission order.  Required by point
+            functions that *read* the registry while running — e.g. a
+            per-shard :class:`~repro.obs.emitter.SnapshotEmitter` — so
+            their payloads are identical at every worker count.  No effect
+            while recording is disabled.
 
     Returns:
         The point results in the same order as ``grid`` — identical to
@@ -130,15 +163,20 @@ def parallel_map(
     if count < 1:
         raise ValueError(f"worker count must be >= 1, got {count}")
     count = min(count, len(grid))
+    serial = (
+        _isolated_serial_map
+        if isolate_registry and _obs_enabled()
+        else _serial_map
+    )
     if count <= 1:
-        return _serial_map(func, grid)
+        return serial(func, grid)
     if _obs_enabled():
         try:
             with ProcessPoolExecutor(max_workers=count) as pool:
                 pairs = list(pool.map(partial(_instrumented_point, func), grid))
         except (BrokenExecutor, OSError, PermissionError):
-            # Serial fallback records directly into the live registry.
-            return _serial_map(func, grid)
+            # Serial fallback keeps the requested registry semantics.
+            return serial(func, grid)
         results = []
         for result, snap in pairs:
             _obs_merge(snap)
@@ -150,4 +188,4 @@ def parallel_map(
     except (BrokenExecutor, OSError, PermissionError):
         # Pool infrastructure failure (not a point-function error): the
         # experiment still matters more than the speedup.
-        return _serial_map(func, grid)
+        return serial(func, grid)

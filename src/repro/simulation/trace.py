@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import json
 import time
+from collections import deque
 from dataclasses import asdict, dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Union
+from typing import Deque, Dict, Hashable, Iterable, List, Optional, Union
 
 from repro.core.online_base import OnlineAlgorithm, OnlineDecision
 from repro.obs import (
@@ -66,10 +67,24 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Collects :class:`TraceEvent` records during an online run."""
+    """Collects :class:`TraceEvent` records during an online run.
 
-    def __init__(self) -> None:
-        self._events: List[TraceEvent] = []
+    Args:
+        max_events: optional retention bound.  ``None`` (the default, and
+            the historical behavior) retains the full trace; a positive
+            bound keeps only the *latest* ``max_events`` records in a ring
+            (like the obs layer's ``TraceLog``), so a recorder attached to
+            an unbounded stream cannot grow without bound.  ``sequence``
+            numbers keep counting across evictions, so a truncated trace
+            is recognizable as such.
+    """
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self._events: Deque[TraceEvent] = deque(maxlen=max_events)
+        self._sequence = 0
 
     def record(
         self, algorithm: OnlineAlgorithm, decision: OnlineDecision
@@ -78,7 +93,7 @@ class TraceRecorder:
         request = decision.request
         network = algorithm.network
         event = TraceEvent(
-            sequence=len(self._events),
+            sequence=self._sequence,
             request_id=request.request_id,
             source=str(request.source),
             num_destinations=request.num_destinations,
@@ -99,6 +114,7 @@ class TraceRecorder:
             server_utilization=network.mean_server_utilization(),
         )
         self._events.append(event)
+        self._sequence += 1
         # Mirror the decision onto the obs timeline (no-op unless a
         # trace is active), unifying recorder events with phase spans.
         _obs_instant(
@@ -111,8 +127,13 @@ class TraceRecorder:
 
     @property
     def events(self) -> List[TraceEvent]:
-        """All recorded events, in decision order."""
+        """All retained events, in decision order."""
         return list(self._events)
+
+    @property
+    def total_recorded(self) -> int:
+        """Events ever recorded, including any evicted by ``max_events``."""
+        return self._sequence
 
     def __len__(self) -> int:
         return len(self._events)
@@ -209,7 +230,7 @@ _DEFAULT_RECORDER = object()
 
 def record_online_run(
     algorithm: OnlineAlgorithm,
-    requests: Sequence[MulticastRequest],
+    requests: Iterable[MulticastRequest],
     recorder=_DEFAULT_RECORDER,
     emitter: Optional[SnapshotEmitter] = None,
 ) -> tuple:

@@ -1,0 +1,78 @@
+"""Streaming admission pipeline: unbounded request streams at O(active) memory.
+
+The figure replays materialize a request list and keep the whole trace; a
+production admission controller faces an *unbounded* arrival stream and
+must run forever in bounded memory.  This package provides the engine half
+of that regime (the telemetry half — windowed histograms, the
+:class:`~repro.obs.emitter.SnapshotEmitter`, the dashboard — shipped with
+:mod:`repro.obs`):
+
+- :mod:`repro.stream.workloads` — seeded, clock-free arrival generators
+  (stationary Poisson, diurnal load, flash crowds, heavy-tailed group
+  sizes via bounded Pareto) plus adapters over the figure-series
+  workloads; none of them materializes a request list.
+- :mod:`repro.stream.engine` — :class:`StreamEngine`: folds any arrival
+  iterator through an online algorithm with priority-queue departure
+  scheduling, per-arrival emitter ticks, and bounded rolling statistics.
+- :mod:`repro.stream.checkpoint` — serialize controller + residuals +
+  RNG + algorithm state every N requests; a killed run resumes
+  bit-identically.
+- :mod:`repro.stream.shard` — partition independent request substreams
+  across a process pool and merge their snapshots deterministically in
+  shard order.
+
+See ``docs/STREAMING.md`` for the workload families, the memory contract,
+the checkpoint format, and the sharded-merge determinism rules.
+"""
+
+from repro.stream.checkpoint import (
+    CheckpointError,
+    capture,
+    load_checkpoint,
+    restore_into,
+    save_checkpoint,
+)
+from repro.stream.engine import StreamEngine, StreamStats, sample_rss_kb
+from repro.stream.shard import (
+    ShardResult,
+    StreamRunConfig,
+    build_engine,
+    run_sharded,
+)
+from repro.stream.workloads import (
+    Arrival,
+    ArrivalStream,
+    DiurnalStream,
+    FigureStream,
+    FlashCrowdStream,
+    ParetoGroupGenerator,
+    PoissonStream,
+    SequenceStream,
+    bounded_pareto,
+    make_stream,
+)
+
+__all__ = [
+    "Arrival",
+    "ArrivalStream",
+    "CheckpointError",
+    "DiurnalStream",
+    "FigureStream",
+    "FlashCrowdStream",
+    "ParetoGroupGenerator",
+    "PoissonStream",
+    "SequenceStream",
+    "ShardResult",
+    "StreamEngine",
+    "StreamRunConfig",
+    "StreamStats",
+    "bounded_pareto",
+    "build_engine",
+    "capture",
+    "load_checkpoint",
+    "make_stream",
+    "restore_into",
+    "run_sharded",
+    "sample_rss_kb",
+    "save_checkpoint",
+]

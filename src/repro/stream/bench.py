@@ -1,0 +1,248 @@
+# repro-lint: disable-file=RL007 -- this module *reports* measured
+# wall-clock runtime (sustained requests/second) as a benchmark result
+# metric, the sanctioned exemption class; no decision path reads a clock.
+"""The ``repro bench --target stream`` scale benchmark.
+
+Proves the :class:`~repro.stream.engine.StreamEngine` memory contract at
+scale and writes ``BENCH_stream.json``:
+
+- **throughput**: a Poisson-churn ``Online_CP`` run on GÉANT, timed end
+  to end (default 1,000,000 requests; ``--quick`` shrinks it for CI);
+- **memory flatness**: the engine samples its own RSS every checkpoint
+  window; the report compares the median of an early window against the
+  median of the final window — a flat series means O(active-requests)
+  memory, independent of how many requests have streamed past;
+- **resume differential**: a smaller run is checkpointed mid-stream
+  (through a JSON round-trip), resumed in a fresh engine, and its
+  chained decision digest compared bit-for-bit against the
+  straight-through run;
+- **shard invariance**: a tiny sharded run executed with 1 worker and
+  again with 2 workers must merge to the same digest.
+
+The benchmark never asserts — it records.  CI gates live in
+``.github/workflows`` and ``tests/stream``; this artifact is the
+committed evidence behind them.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.stream.checkpoint import capture, restore_into
+from repro.stream.shard import StreamRunConfig, build_engine, run_sharded
+
+__all__ = [
+    "DEFAULT_STREAM_SCALE_REQUESTS",
+    "QUICK_STREAM_SCALE_REQUESTS",
+    "render_stream_scale_summary",
+    "run_stream_scale_benchmark",
+]
+
+DEFAULT_STREAM_SCALE_REQUESTS = 1_000_000
+QUICK_STREAM_SCALE_REQUESTS = 20_000
+DEFAULT_SEED = 20170605  # ICDCS 2017
+
+#: Number of RSS sample windows across the main run.
+_RSS_WINDOWS = 50
+
+#: Arrival rate for every sub-benchmark: ~200 concurrently held requests
+#: on GÉANT — enough contention that all three rejection paths
+#: (disconnected, tree_threshold, allocation_failed) fire, so the run
+#: exercises the full decision surface rather than a pure admit stream.
+_ARRIVAL_RATE = 5.0
+
+#: Size of the resume-differential sub-run and its checkpoint boundary
+#: (``--quick`` shrinks both 5x so the CI smoke run stays cheap).
+_RESUME_REQUESTS = 4_000
+_RESUME_BOUNDARY = 2_000
+_QUICK_RESUME_REQUESTS = 800
+_QUICK_RESUME_BOUNDARY = 400
+
+#: Shard-invariance sub-run: shards × per-shard requests.
+_SHARD_COUNT = 2
+_SHARD_REQUESTS = 2_000
+_QUICK_SHARD_REQUESTS = 400
+
+
+def _rss_flatness(samples: List[List[float]]) -> Dict[str, Any]:
+    """Early-vs-late median RSS over the ``[processed, rss_kb]`` series.
+
+    The first quarter of the windows is discarded as warm-up (imports,
+    allocator arena growth, the shortest-path cache filling its fixed
+    slots); ``growth_ratio`` is the late-window median divided by the
+    early-window median.  A leak that scales with stream length shows up
+    as a ratio well above 1; a flat engine sits within allocator noise.
+    """
+    if len(samples) < 8:
+        return {
+            "windows": len(samples),
+            "early_median_kb": None,
+            "late_median_kb": None,
+            "growth_ratio": None,
+        }
+    values = [rss for _, rss in samples]
+    quarter = len(values) // 4
+    early = values[quarter : 2 * quarter]
+    late = values[-quarter:]
+    early_median = statistics.median(early)
+    late_median = statistics.median(late)
+    return {
+        "windows": len(samples),
+        "early_median_kb": early_median,
+        "late_median_kb": late_median,
+        "growth_ratio": (
+            late_median / early_median if early_median else None
+        ),
+    }
+
+
+def _resume_differential(seed: int, quick: bool) -> Dict[str, Any]:
+    """Straight-through vs kill-and-resume on a small GÉANT run.
+
+    The checkpoint document goes through ``json.dumps``/``loads`` so the
+    comparison exercises the real serialization path, not just in-memory
+    object identity.
+    """
+    requests = _QUICK_RESUME_REQUESTS if quick else _RESUME_REQUESTS
+    boundary = _QUICK_RESUME_BOUNDARY if quick else _RESUME_BOUNDARY
+    config = StreamRunConfig(
+        topology="geant",
+        seed=seed,
+        requests=requests,
+        arrival_rate=_ARRIVAL_RATE,
+    )
+    straight = build_engine(config)
+    straight.run()
+
+    first = build_engine(config)
+    first.run(max_events=boundary)
+    document = json.loads(
+        json.dumps(capture(first, meta=config.as_dict()))
+    )
+    resumed = build_engine(config)
+    restore_into(resumed, document)
+    resumed.run()
+
+    return {
+        "requests": requests,
+        "checkpoint_at": boundary,
+        "straight_digest": straight.stats.digest,
+        "resumed_digest": resumed.stats.digest,
+        "bit_identical": straight.stats.digest == resumed.stats.digest,
+    }
+
+
+def _shard_invariance(seed: int, quick: bool) -> Dict[str, Any]:
+    """Merged digest of a sharded run at 1 worker vs 2 workers."""
+    per_shard = _QUICK_SHARD_REQUESTS if quick else _SHARD_REQUESTS
+    config = StreamRunConfig(
+        topology="geant",
+        seed=seed,
+        requests=_SHARD_COUNT * per_shard,
+        arrival_rate=_ARRIVAL_RATE,
+    )
+    serial = run_sharded(config, shards=_SHARD_COUNT, workers=1)
+    pooled = run_sharded(config, shards=_SHARD_COUNT, workers=2)
+    return {
+        "shards": _SHARD_COUNT,
+        "requests": config.requests,
+        "workers_1_digest": serial.digest,
+        "workers_2_digest": pooled.digest,
+        "bit_identical": serial.digest == pooled.digest,
+    }
+
+
+def run_stream_scale_benchmark(
+    output_path: str = "BENCH_stream.json",
+    requests: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+) -> Dict[str, Any]:
+    """Run the scale benchmark and write the JSON artifact.
+
+    Args:
+        output_path: where to write the artifact.
+        requests: main-run stream length (default 1,000,000, or 20,000
+            with ``quick``).
+        seed: workload seed for every sub-benchmark.
+        quick: CI smoke mode — shrinks the main run; the resume and
+            shard differentials keep their (already small) sizes.
+    """
+    if requests is None:
+        requests = (
+            QUICK_STREAM_SCALE_REQUESTS
+            if quick
+            else DEFAULT_STREAM_SCALE_REQUESTS
+        )
+    config = StreamRunConfig(
+        topology="geant",
+        seed=seed,
+        requests=requests,
+        arrival_rate=_ARRIVAL_RATE,
+    )
+    sample_every = max(1, requests // _RSS_WINDOWS)
+    engine = build_engine(config, checkpoint_every=sample_every)
+
+    started = time.perf_counter()
+    stats = engine.run()
+    elapsed = time.perf_counter() - started
+
+    payload: Dict[str, Any] = {
+        "benchmark": "stream-scale",
+        "quick": quick,
+        "config": config.as_dict(),
+        "requests": stats.processed,
+        "elapsed_seconds": elapsed,
+        "throughput_rps": stats.processed / elapsed if elapsed else None,
+        "admitted": stats.admitted,
+        "rejected": stats.rejected,
+        "departed": stats.departed,
+        "admission_ratio": stats.admission_ratio,
+        "peak_active": stats.peak_active,
+        "digest": stats.digest,
+        "rss": {
+            "sample_every": sample_every,
+            "samples": stats.rss_samples,
+            **_rss_flatness(stats.rss_samples),
+        },
+        "resume": _resume_differential(seed, quick),
+        "shard_invariance": _shard_invariance(seed, quick),
+    }
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def render_stream_scale_summary(payload: Dict[str, Any]) -> List[str]:
+    """Human-readable lines for the CLI."""
+    rss = payload["rss"]
+    resume = payload["resume"]
+    shard = payload["shard_invariance"]
+    ratio = rss.get("growth_ratio")
+    lines = [
+        f"stream scale: {payload['requests']} requests on "
+        f"{payload['config']['topology']} in "
+        f"{payload['elapsed_seconds']:.1f}s "
+        f"({payload['throughput_rps']:.0f} req/s)",
+        f"  admitted {payload['admitted']}  rejected {payload['rejected']}"
+        f"  departed {payload['departed']}"
+        f"  peak active {payload['peak_active']}",
+        (
+            f"  rss: {rss['windows']} windows, early median "
+            f"{rss['early_median_kb']:.0f} KiB, late median "
+            f"{rss['late_median_kb']:.0f} KiB, growth x{ratio:.3f}"
+            if ratio is not None
+            else f"  rss: {rss['windows']} windows (too few for flatness)"
+        ),
+        f"  resume differential: "
+        f"{'bit-identical' if resume['bit_identical'] else 'DIVERGED'} "
+        f"(checkpoint at {resume['checkpoint_at']}/{resume['requests']})",
+        f"  shard invariance: "
+        f"{'bit-identical' if shard['bit_identical'] else 'DIVERGED'} "
+        f"({shard['shards']} shards, workers 1 vs 2)",
+    ]
+    return lines

@@ -127,6 +127,28 @@ class RequestGenerator:
         for _ in range(count):
             yield self.next_request()
 
+    # ------------------------------------------------------------------
+    # checkpoint support (repro.stream)
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """JSON-serializable drawing state (RNG + next request id).
+
+        Restoring this state into a generator built with the same graph
+        and config resumes the request sequence exactly where it stopped —
+        the bit-identity anchor of the streaming checkpoint layer.
+        """
+        version, internal, gauss_next = self._rng.getstate()
+        return {
+            "rng": [version, list(internal), gauss_next],
+            "next_id": self._next_id,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Resume drawing from a :meth:`state` snapshot."""
+        version, internal, gauss_next = state["rng"]
+        self._rng.setstate((version, tuple(internal), gauss_next))
+        self._next_id = int(state["next_id"])
+
 
 def generate_workload(
     graph: Graph,

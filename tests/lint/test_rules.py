@@ -235,6 +235,42 @@ class TestRL003UnseededRandomness:
         """
         assert lint(clean, "src/repro/workload/x.py") == []
 
+    def test_stream_generator_unseeded_draw_trips(self):
+        # An arrival stream drawing gaps from the hidden global RNG would
+        # make checkpoint/resume non-reproducible — the rule polices
+        # repro/stream like any other package.
+        snippet = """
+            import random
+
+            class JitteredStream:
+                def _draw(self):
+                    gap = random.expovariate(2.0)
+                    keep = random.random() < 0.5
+                    return gap if keep else None
+        """
+        assert rule_ids(lint(snippet, "src/repro/stream/workloads.py")) == [
+            "RL003", "RL003",
+        ]
+
+    def test_stream_generator_seeded_instance_rng_passes(self):
+        # The idiom the stream package actually uses: one explicitly
+        # seeded random.Random held in an attribute, serialized via
+        # getstate()/setstate() for checkpoints.
+        clean = """
+            import random
+
+            class Stream:
+                def __init__(self, seed):
+                    self._timing = random.Random(seed)
+
+                def _draw(self):
+                    return self._timing.expovariate(2.0)
+
+                def state(self):
+                    return self._timing.getstate()
+        """
+        assert lint(clean, "src/repro/stream/workloads.py") == []
+
 
 class TestRL004FloatEquality:
     def test_computed_cost_equality_trips(self):

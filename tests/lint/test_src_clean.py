@@ -35,11 +35,12 @@ def test_suppression_census():
     # RL001/RL004 ones on the CSR/appro benchmarks' raw-engine sweeps and
     # bit-identity checks, and the five RL001 ones on the reference/oracle
     # constructions in core/ that the widened rule now polices
-    # (exact, baselines, delay_aware) — plus the three RL007 file-level ones
-    # in the simulation engine/trace and obs/emitter, whose every_seconds
-    # flush trigger is wall time by contract) and 4 syntax examples inside
-    # the lint package's own docstrings.
-    assert pragmas <= 31, (
+    # (exact, baselines, delay_aware) — plus the four RL007 file-level ones
+    # in the simulation engine/trace, obs/emitter (whose every_seconds
+    # flush trigger is wall time by contract), and the stream scale
+    # benchmark, which reports measured throughput as a result metric) and
+    # 4 syntax examples inside the lint package's own docstrings.
+    assert pragmas <= 32, (
         f"{pragmas} suppression pragmas in src/ — if you added one with a "
         "written justification, raise this ceiling in the same commit"
     )

@@ -142,3 +142,52 @@ class TestRunOnlineWithDepartures:
             poisson_process(requests, 5.0, 2.0, seed=23),
         )
         assert churn.admitted >= static.admitted
+
+
+class TestIterableInputs:
+    """The runners accept any iterable, with list-vs-generator identity."""
+
+    def test_run_online_list_vs_generator_bit_identity(self, setup):
+        graph, _, requests = setup
+        from_list = run_online(
+            SPOnline(build_sdn(graph, seed=13)), list(requests)
+        )
+        lazy = run_online(
+            SPOnline(build_sdn(graph, seed=13)),
+            (request for request in requests),
+        )
+        assert lazy.admitted == from_list.admitted
+        assert lazy.rejected == from_list.rejected
+        assert lazy.admitted_timeline == from_list.admitted_timeline
+        assert lazy.operational_costs == from_list.operational_costs
+        assert lazy.reject_reasons == from_list.reject_reasons
+
+    def test_run_online_with_departures_list_vs_generator(self, setup):
+        graph, _, requests = setup
+        events = poisson_process(
+            requests, arrival_rate=2.0, mean_holding_time=5.0, seed=3
+        )
+        network_a = build_sdn(graph, seed=13)
+        network_b = build_sdn(graph, seed=13)
+        from_list = run_online_with_departures(SPOnline(network_a), events)
+        lazy = run_online_with_departures(
+            SPOnline(network_b), iter(events)
+        )
+        assert lazy.admitted == from_list.admitted
+        assert lazy.rejected == from_list.rejected
+        assert lazy.admitted_timeline == from_list.admitted_timeline
+        assert lazy.operational_costs == from_list.operational_costs
+        assert network_b.snapshot() == network_a.snapshot()
+
+    def test_generator_is_consumed_exactly_once(self, setup):
+        graph, _, requests = setup
+        consumed = []
+
+        def feed():
+            for request in requests:
+                consumed.append(request.request_id)
+                yield request
+
+        stats = run_online(SPOnline(build_sdn(graph, seed=13)), feed())
+        assert consumed == [request.request_id for request in requests]
+        assert stats.admitted + stats.rejected == len(requests)

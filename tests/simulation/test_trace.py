@@ -132,3 +132,56 @@ class TestSerialization:
         target = tmp_path / "empty.jsonl"
         recorder.write_jsonl(str(target))
         assert target.read_text() == ""
+
+
+class TestBoundedRecorder:
+    """TraceRecorder(max_events=...) keeps only the latest K events."""
+
+    def test_default_is_unbounded(self, setup):
+        _, network, requests = setup
+        _, recorder = record_online_run(SPOnline(network), requests)
+        assert recorder.max_events is None
+        assert len(recorder) == len(requests)
+        assert recorder.total_recorded == len(requests)
+
+    def test_ring_keeps_only_the_latest_events(self, setup):
+        _, network, requests = setup
+        recorder = TraceRecorder(max_events=7)
+        _, recorder = record_online_run(
+            SPOnline(network), requests, recorder=recorder
+        )
+        assert len(recorder) == 7
+        assert recorder.total_recorded == len(requests)
+        # The retained window is the *tail*, and sequence numbers keep
+        # counting across evictions so truncation is recognizable.
+        sequences = [event.sequence for event in recorder.events]
+        assert sequences == list(range(len(requests) - 7, len(requests)))
+
+    def test_bounded_recorder_matches_unbounded_tail(self, setup):
+        graph, _, requests = setup
+        _, full = record_online_run(
+            SPOnline(build_sdn(graph, seed=61)), requests
+        )
+        _, ring = record_online_run(
+            SPOnline(build_sdn(graph, seed=61)),
+            requests,
+            recorder=TraceRecorder(max_events=10),
+        )
+        assert ring.events == full.events[-10:]
+
+    def test_stats_unaffected_by_bounding(self, setup):
+        graph, _, requests = setup
+        stats_full, _ = record_online_run(
+            SPOnline(build_sdn(graph, seed=61)), requests
+        )
+        stats_ring, _ = record_online_run(
+            SPOnline(build_sdn(graph, seed=61)),
+            requests,
+            recorder=TraceRecorder(max_events=3),
+        )
+        assert stats_ring.admitted == stats_full.admitted
+        assert stats_ring.rejected == stats_full.rejected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_events=0)

@@ -1,0 +1,65 @@
+"""The CI stream-acceptance gate (opt-in: set REPRO_STREAM_ACCEPTANCE=1).
+
+Tier-1 keeps these out of the default run — they stream 100k+ requests —
+but the dedicated CI job runs them on every push:
+
+- a 100k-request GÉANT churn run must sustain *flat* memory: the median
+  RSS of the last quarter of checkpoint windows must sit within 20% of
+  the post-warm-up median (O(active-requests) memory, not O(stream));
+- a sharded run must merge bit-identically at 1 worker and 4 workers.
+"""
+
+import os
+import statistics
+
+import pytest
+
+from repro.stream import StreamRunConfig, build_engine, run_sharded
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_STREAM_ACCEPTANCE", "") != "1",
+    reason="set REPRO_STREAM_ACCEPTANCE=1 to run the stream acceptance gate",
+)
+
+CONFIG = StreamRunConfig(
+    topology="geant",
+    seed=20170605,
+    requests=100_000,
+    arrival_rate=5.0,
+)
+
+
+class TestStreamAcceptance:
+    def test_100k_geant_run_sustains_flat_memory(self):
+        engine = build_engine(
+            CONFIG, checkpoint_every=CONFIG.requests // 40
+        )
+        stats = engine.run()
+
+        assert stats.processed == CONFIG.requests
+        assert stats.admitted + stats.rejected == CONFIG.requests
+        # Offered load is ~200 concurrent requests; the active set must
+        # track churn, not stream length.
+        assert stats.peak_active < 2_000
+
+        samples = [rss for _, rss in stats.rss_samples]
+        assert len(samples) == 40
+        quarter = len(samples) // 4
+        early = statistics.median(samples[quarter : 2 * quarter])
+        late = statistics.median(samples[-quarter:])
+        assert late <= early * 1.20, (
+            f"RSS grew from {early:.0f} KiB to {late:.0f} KiB over "
+            f"{CONFIG.requests} requests — memory is not flat"
+        )
+
+    def test_sharded_run_is_worker_count_invariant(self):
+        config = StreamRunConfig(
+            topology="geant",
+            seed=20170605,
+            requests=8_000,
+            arrival_rate=5.0,
+        )
+        serial = run_sharded(config, shards=4, workers=1)
+        pooled = run_sharded(config, shards=4, workers=4)
+        assert serial.merged == pooled.merged
+        assert serial.digest == pooled.digest

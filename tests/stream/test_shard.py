@@ -1,0 +1,127 @@
+"""Sharded stream runs: worker-count invariance and ordered merges."""
+
+import pytest
+
+from repro import obs
+from repro.exceptions import SimulationError
+from repro.stream import StreamRunConfig, run_sharded
+from repro.stream.shard import (
+    _shard_counts,
+    derive_shard_seed,
+    merge_stats_states,
+)
+
+CONFIG = StreamRunConfig(
+    topology="gt_itm:24",
+    network_seed=31,
+    seed=31,
+    requests=600,
+    arrival_rate=3.0,
+)
+
+
+class TestConfig:
+    def test_round_trips_through_dict(self):
+        rebuilt = StreamRunConfig.from_dict(CONFIG.as_dict())
+        assert rebuilt == CONFIG
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = CONFIG.as_dict()
+        data["future_field"] = "ignored"
+        assert StreamRunConfig.from_dict(data) == CONFIG
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            StreamRunConfig(requests=-1)
+        with pytest.raises(SimulationError):
+            StreamRunConfig(workload="bursty")
+        with pytest.raises(SimulationError):
+            StreamRunConfig(algorithm="offline")
+
+    def test_unknown_topology_fails_at_build_time(self):
+        from repro.stream.shard import build_network
+
+        with pytest.raises(SimulationError):
+            build_network(StreamRunConfig(topology="nowhere"))
+        with pytest.raises(SimulationError):
+            build_network(StreamRunConfig(topology="gt_itm:abc"))
+
+
+class TestSeedsAndSplits:
+    def test_shard_seeds_are_distinct(self):
+        seeds = {
+            derive_shard_seed(base, shard)
+            for base in range(5)
+            for shard in range(8)
+        }
+        assert len(seeds) == 40
+
+    def test_shard_zero_differs_from_unsharded_stream(self):
+        assert derive_shard_seed(0, 0) != 0
+
+    def test_counts_split_evenly_with_remainder_up_front(self):
+        assert _shard_counts(10, 3) == [4, 3, 3]
+        assert _shard_counts(9, 3) == [3, 3, 3]
+        assert _shard_counts(2, 4) == [1, 1, 0, 0]
+        assert sum(_shard_counts(1234, 7)) == 1234
+
+
+class TestWorkerInvariance:
+    def test_merged_result_is_identical_for_every_worker_count(self):
+        serial = run_sharded(CONFIG, shards=3, workers=1)
+        pooled = run_sharded(CONFIG, shards=3, workers=3)
+        assert serial.merged == pooled.merged
+        assert [s["stats"] for s in serial.shards] == [
+            s["stats"] for s in pooled.shards
+        ]
+
+    def test_worker_invariance_holds_with_telemetry_enabled(self):
+        obs.enable()
+        obs.reset()
+        serial = run_sharded(CONFIG, shards=2, workers=1)
+        serial_registry = obs.snapshot()
+        obs.reset()
+        pooled = run_sharded(CONFIG, shards=2, workers=2)
+        pooled_registry = obs.snapshot()
+
+        assert serial.merged == pooled.merged
+        assert serial_registry["counters"] == pooled_registry["counters"]
+        assert serial_registry["histograms"] == pooled_registry["histograms"]
+
+    def test_shard_count_changes_the_workload(self):
+        two = run_sharded(CONFIG, shards=2, workers=1)
+        three = run_sharded(CONFIG, shards=3, workers=1)
+        assert two.digest != three.digest
+
+    def test_requests_are_conserved(self):
+        result = run_sharded(CONFIG, shards=3, workers=1)
+        assert result.merged["processed"] == CONFIG.requests
+        assert sum(s["requests"] for s in result.shards) == CONFIG.requests
+
+    def test_shards_validation(self):
+        with pytest.raises(SimulationError):
+            run_sharded(CONFIG, shards=0)
+
+
+class TestMergeStatsStates:
+    def _states(self):
+        return [
+            run_sharded(CONFIG, shards=2, workers=1).shards[i]["stats"]
+            for i in range(2)
+        ]
+
+    def test_counters_add_and_digest_chains(self):
+        states = self._states()
+        merged = merge_stats_states(states)
+        assert merged["processed"] == sum(s["processed"] for s in states)
+        assert merged["admitted"] == sum(s["admitted"] for s in states)
+        assert merged["departed"] == sum(s["departed"] for s in states)
+        assert merged["last_time"] == max(s["last_time"] for s in states)
+        assert "recent" not in merged
+        assert "rss_samples" not in merged
+
+    def test_merge_order_matters(self):
+        states = self._states()
+        forward = merge_stats_states(states)["digest"]
+        backward = merge_stats_states(list(reversed(states)))["digest"]
+        assert forward != backward
