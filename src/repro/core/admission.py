@@ -74,18 +74,19 @@ def try_allocate(
         untouched.
     """
     request = tree.request
-    txn = AllocationTransaction(network)
-    try:
-        for (u, v), count in sorted(
-            tree.edge_usage().items(), key=lambda item: repr(item[0])
-        ):
-            txn.allocate_bandwidth(u, v, count * request.bandwidth)
-        for server in tree.servers:
-            txn.allocate_compute(server, request.compute_demand)
-    except CapacityExceededError:
-        txn.rollback()
-        return None
-    txn.commit()
+    # `with` so *any* exception before commit() — not just the capacity
+    # error handled here — rolls the partial reservation back (RL011)
+    with AllocationTransaction(network) as txn:
+        try:
+            for (u, v), count in sorted(
+                tree.edge_usage().items(), key=lambda item: repr(item[0])
+            ):
+                txn.allocate_bandwidth(u, v, count * request.bandwidth)
+            for server in tree.servers:
+                txn.allocate_compute(server, request.compute_demand)
+        except CapacityExceededError:
+            return None
+        txn.commit()
     return txn
 
 

@@ -131,7 +131,10 @@ def delay_aware_multicast(
             cost = (
                 sum(scaled.weight(u, v) for u, v in
                     zip(source_path, source_path[1:]))
-                + sum(scaled.weight(u, v) for u, v in union_edges)
+                # sorted: float addition is order-sensitive and the edge
+                # set iterates in salted hash order, so an unsorted sum
+                # could pick a different best server across processes
+                + sum(scaled.weight(u, v) for u, v in sorted(union_edges))
                 + network.chain_cost(server, request.compute_demand)
             )
             if best is None or cost < best[0]:
@@ -152,15 +155,19 @@ def delay_aware_multicast(
     union_edges = set()
     for path in branch_paths.values():
         union_edges.update(edge_key(u, v) for u, v in zip(path, path[1:]))
+    # sorted for the same reason as the per-candidate cost above, and so
+    # the tree's distribution_edges tuple (which downstream installation
+    # and digests observe) has a process-independent order
+    ordered_edges = sorted(union_edges)
     bandwidth_cost = (
         sum(scaled.weight(u, v) for u, v in zip(source_path, source_path[1:]))
-        + sum(scaled.weight(u, v) for u, v in union_edges)
+        + sum(scaled.weight(u, v) for u, v in ordered_edges)
     )
     tree = PseudoMulticastTree(
         request=request,
         servers=(server,),
         server_paths={server: tuple(source_path)},
-        distribution_edges=tuple(union_edges),
+        distribution_edges=tuple(ordered_edges),
         return_paths=(),
         bandwidth_cost=bandwidth_cost,
         compute_cost=network.chain_cost(server, request.compute_demand),

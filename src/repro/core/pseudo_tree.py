@@ -227,6 +227,9 @@ def validate_pseudo_tree(
     for path in tree.return_paths:
         sources.update(path)
     reachable = set(sources)
+    # flood traversal order cannot affect the reachable *set*; only
+    # membership is read below
+    # repro-lint: disable=RL010 — order-independent result, justified above
     frontier = [node for node in sources if processed.has_node(node)]
     while frontier:
         node = frontier.pop()

@@ -1,4 +1,4 @@
-"""``repro lint`` — AST-based invariant linter for the reproduction.
+"""``repro lint`` — two-pass semantic analyzer for the reproduction.
 
 The reproduction's correctness rests on cross-cutting conventions that no
 single unit test can see: every shortest-path query goes through the
@@ -10,11 +10,24 @@ component draws from an explicitly seeded RNG.  This package enforces those
 conventions *statically*, at CI time, instead of waiting for a 50-instance
 differential run to drift.
 
+Two passes:
+
+- the **per-file pass** walks each module once with the RL001–RL008 and
+  RL011 rules (:mod:`repro.lint.rules`);
+- the **cross-file pass** builds a cached :class:`ProjectIndex` over the
+  whole file set (:mod:`repro.lint.project`) and runs the RL009/RL010
+  dataflow rules, the RL012 API-surface lock, and the transitive
+  RL001/RL007 call-graph extension (:mod:`repro.lint.xrules`).
+
 Public surface:
 
-- :func:`lint_paths` / :func:`lint_source` — run all registered rules.
-- :data:`ALL_RULES` — the rule registry (RL001 … RL008).
+- :func:`lint_paths` / :func:`lint_source` — run the rules.
+- :data:`ALL_RULES` / :data:`CROSS_RULES` — the rule registries.
 - :class:`Finding` — one violation: rule, path, line, message, hint.
+- :class:`ProjectIndex` — the pass-1 artifact (symbol tables, class
+  attribute maps, call graph, export surface).
+- :func:`compute_api_surface` / :func:`diff_api_surface` — the RL012
+  surface snapshot and its diff against ``api_baseline.json``.
 - :mod:`repro.lint.cli` — the ``repro lint`` subcommand implementation.
 
 See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the suppression
@@ -27,20 +40,51 @@ from repro.lint.baseline import (
     write_baseline,
 )
 from repro.lint.core import Finding, LintContext, Rule
+from repro.lint.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+)
 from repro.lint.rules import ALL_RULES, get_rule
-from repro.lint.runner import iter_python_files, lint_file, lint_paths, lint_source
+from repro.lint.runner import (
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    load_api_baseline,
+)
+from repro.lint.xrules import (
+    API_LOCKED_PACKAGES,
+    CROSS_RULES,
+    CrossRule,
+    compute_api_surface,
+    diff_api_surface,
+    run_cross_rules,
+)
 
 __all__ = [
     "ALL_RULES",
+    "API_LOCKED_PACKAGES",
+    "CROSS_RULES",
+    "ClassInfo",
+    "CrossRule",
     "Finding",
+    "FunctionInfo",
     "LintContext",
+    "ModuleInfo",
+    "ProjectIndex",
     "Rule",
+    "compute_api_surface",
+    "diff_api_surface",
     "filter_with_baseline",
     "get_rule",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_api_baseline",
     "load_baseline",
+    "run_cross_rules",
     "write_baseline",
 ]

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
 from typing import List, Optional
 
@@ -17,8 +19,14 @@ from repro.lint.baseline import (
     load_baseline,
     write_baseline,
 )
+from repro.lint.project import ProjectIndex
 from repro.lint.rules import ALL_RULES
-from repro.lint.runner import lint_paths
+from repro.lint.runner import (
+    DEFAULT_API_BASELINE,
+    iter_python_files,
+    lint_paths,
+)
+from repro.lint.xrules import CROSS_RULES, compute_api_surface
 
 
 def build_parser(
@@ -59,12 +67,83 @@ def build_parser(
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="BASE",
+        help="lint only files that differ from the given git ref "
+        "(default HEAD) plus untracked files; the project index still "
+        "spans every file so cross-file rules stay sound",
+    )
+    parser.add_argument(
+        "--api-baseline",
+        metavar="PATH",
+        default=None,
+        help="API-surface baseline to diff against (RL012); by default "
+        f"{DEFAULT_API_BASELINE} is used when it exists in the cwd",
+    )
+    parser.add_argument(
+        "--update-api",
+        action="store_true",
+        help="rewrite the API baseline from the current exported surface "
+        "and exit 0 (an intentional surface change)",
+    )
+    parser.add_argument(
+        "--index-cache",
+        metavar="PATH",
+        default=".repro_lint_cache.json",
+        help="project-index cache file (default: .repro_lint_cache.json)",
+    )
+    parser.add_argument(
+        "--no-index-cache",
+        action="store_true",
+        help="rebuild the project index from scratch, touching no cache",
+    )
     return parser
+
+
+def _changed_files(base: str, paths: List[str]) -> Optional[List[str]]:
+    """Files under ``paths`` that differ from ``base`` or are untracked.
+
+    Returns ``None`` when git is unavailable (callers fall back to a full
+    run — safe, just slower).
+    """
+    changed: List[str] = []
+    for command in (
+        ["git", "diff", "--name-only", base],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            result = subprocess.run(
+                command, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            detail = getattr(exc, "stderr", "") or str(exc)
+            print(
+                f"error: --changed needs git ({detail.strip()})",
+                file=sys.stderr,
+            )
+            return None
+        changed.extend(
+            line.strip() for line in result.stdout.splitlines() if line.strip()
+        )
+    wanted = {os.path.normpath(p) for p in iter_python_files(paths)}
+    return sorted(
+        path
+        for path in dict.fromkeys(changed)
+        if path.endswith(".py") and os.path.normpath(path) in wanted
+    )
 
 
 def run(args: argparse.Namespace) -> int:
     """Execute a parsed lint invocation; returns the exit code."""
     if args.list_rules:
+        catalogue = list(ALL_RULES) + [
+            rule for rule in CROSS_RULES if rule.id not in
+            {r.id for r in ALL_RULES}
+        ]
         if args.output_format == "json":
             print(json.dumps(
                 [
@@ -74,21 +153,86 @@ def run(args: argparse.Namespace) -> int:
                         "rationale": rule.rationale,
                         "hint": rule.hint,
                     }
-                    for rule in ALL_RULES
+                    for rule in catalogue
+                ]
+                + [
+                    {
+                        "id": "RL012",
+                        "name": "api-surface-lock",
+                        "rationale": "exported names and signatures of the "
+                        "locked packages must match api_baseline.json",
+                        "hint": "repro lint --update-api",
+                    }
                 ],
                 indent=2,
             ))
         else:
-            for rule in ALL_RULES:
+            for rule in catalogue:
                 print(f"{rule.id} {rule.name}")
                 print(f"    {rule.rationale}")
+            print("RL012 api-surface-lock")
+            print(
+                "    exported names and signatures of repro.core/graph/"
+                "stream/obs must match api_baseline.json "
+                "(rebaseline: repro lint --update-api)"
+            )
+            print(
+                "note: RL001/RL007 also run transitively over the project "
+                "call graph (flagged at the solver-side call site)"
+            )
         return 0
 
     if args.write_baseline and not args.baseline:
         print("error: --write-baseline requires --baseline PATH", file=sys.stderr)
         return 2
 
-    findings = lint_paths(args.paths)
+    index_cache = None if args.no_index_cache else args.index_cache
+
+    if args.update_api:
+        target = args.api_baseline or DEFAULT_API_BASELINE
+        index = ProjectIndex.build(
+            iter_python_files(args.paths), cache_path=index_cache
+        )
+        surface = compute_api_surface(index)
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(surface, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        exported = sum(len(v) for v in surface["packages"].values())
+        print(
+            f"wrote {target}: {len(surface['packages'])} packages, "
+            f"{exported} exports, {len(surface['modules'])} modules"
+        )
+        return 0
+
+    if args.api_baseline is not None and not os.path.exists(args.api_baseline):
+        print(
+            f"error: API baseline {args.api_baseline} does not exist; "
+            "create it with `repro lint --update-api`",
+            file=sys.stderr,
+        )
+        return 2
+
+    changed_only = None
+    if args.changed is not None:
+        changed_only = _changed_files(args.changed, list(args.paths))
+        if changed_only is None:
+            return 2
+        if not changed_only:
+            print("repro lint: no changed files")
+            return 0
+
+    try:
+        findings = lint_paths(
+            args.paths,
+            index_cache=index_cache,
+            api_baseline=args.api_baseline
+            if args.api_baseline is not None
+            else "auto",
+            changed_only=changed_only,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     if args.write_baseline:
         count = write_baseline(args.baseline, findings)

@@ -188,6 +188,20 @@ class LintContext:
         return not prefix.strip()
 
     # ------------------------------------------------------------------
+    # suppression visibility (the project index serializes these so the
+    # cross-file pass can honour pragmas without re-reading the source)
+    # ------------------------------------------------------------------
+    @property
+    def line_disables(self) -> Dict[int, Set[str]]:
+        """line -> rule ids disabled on that line (read-only view)."""
+        return self._line_disables
+
+    @property
+    def file_disables(self) -> Set[str]:
+        """Rule ids disabled for the whole file (read-only view)."""
+        return self._file_disables
+
+    # ------------------------------------------------------------------
     # name resolution helpers used by the rules
     # ------------------------------------------------------------------
     def qualified_call_name(self, func: ast.expr) -> Optional[str]:

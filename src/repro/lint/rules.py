@@ -573,6 +573,102 @@ class BroadExceptInSolverPath(Rule):
 
 
 # ----------------------------------------------------------------------
+# RL011 — AllocationTransaction must commit/rollback on every path
+# ----------------------------------------------------------------------
+
+#: The transaction constructor and its re-export path.
+_TXN_QUALIFIED = frozenset(
+    {
+        "repro.network.allocation.AllocationTransaction",
+        "repro.network.AllocationTransaction",
+    }
+)
+
+
+class TransactionWithoutExitPath(Rule):
+    """``AllocationTransaction(...)`` created outside ``with``/``try-finally``.
+
+    The manual ``txn = AllocationTransaction(n); try: ... except
+    CapacityExceededError: txn.rollback()`` pattern is path-*insensitive*:
+    any exception other than the one caught (a typed infeasibility error
+    from deeper in the solver, a ``KeyboardInterrupt`` in a long sweep)
+    leaks the partial reservation forever.  ``__exit__`` rolls back
+    whenever ``commit()`` was not reached, so the ``with`` form is safe on
+    every path; a ``try/finally`` that owns the rollback is equivalent.
+    ``AllocationTransaction.adopt(...)`` builds an already-committed
+    transaction and is exempt.
+    """
+
+    id = "RL011"
+    name = "transaction-without-exit-path"
+    rationale = (
+        "An AllocationTransaction reserves residual capacity the moment "
+        "allocate_* is called; unless construction is wrapped in `with` "
+        "(or try/finally), any exception path that skips rollback() leaks "
+        "the reservation and silently shrinks the network for every later "
+        "request — the RL002 ownership story made path-sensitive."
+    )
+    hint = (
+        "use `with AllocationTransaction(network) as txn:` and call "
+        "txn.commit() on the success path (__exit__ rolls back otherwise)"
+    )
+    node_types = (ast.Call,)
+    _allowed = ("repro/network/allocation.py",)
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return not ctx.in_module(*self._allowed)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> None:
+        assert isinstance(node, ast.Call)
+        qualified = ctx.qualified_call_name(node.func)
+        if qualified not in _TXN_QUALIFIED:
+            return
+        if id(node) in ctx.with_context_calls:
+            return
+        if id(node) in self._try_finally_nodes(ctx):
+            return
+        ctx.report(
+            self,
+            node,
+            "AllocationTransaction created outside `with`/try-finally; "
+            "an unexpected exception before commit() leaks the reservation",
+        )
+
+    @staticmethod
+    def _try_finally_nodes(ctx: LintContext) -> frozenset:
+        """ids of AST nodes covered by a ``try``/``finally``.
+
+        Covered means inside the ``try`` body, or in the statement
+        *directly before* it — the idiomatic ``txn = ...; try: ...
+        finally: ...`` must construct the transaction one line above the
+        ``try`` so the ``finally`` can reference it.
+        """
+        cached = getattr(ctx, "_rl011_try_finally", None)
+        if cached is not None:
+            return cached
+        ids = set()
+
+        def cover(stmt: ast.stmt) -> None:
+            for inner in ast.walk(stmt):
+                ids.add(id(inner))
+
+        for outer in ast.walk(ctx.tree):
+            for block in ("body", "orelse", "finalbody"):
+                statements = getattr(outer, block, None)
+                if not isinstance(statements, list):
+                    continue
+                for index, stmt in enumerate(statements):
+                    if isinstance(stmt, ast.Try) and stmt.finalbody:
+                        for covered in stmt.body:
+                            cover(covered)
+                        if index > 0:
+                            cover(statements[index - 1])
+        frozen = frozenset(ids)
+        ctx._rl011_try_finally = frozen  # type: ignore[attr-defined]
+        return frozen
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 
@@ -585,6 +681,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     SpanOutsideWith(),
     WallClockOutsideObs(),
     BroadExceptInSolverPath(),
+    TransactionWithoutExitPath(),
 )
 
 _RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

@@ -1,13 +1,25 @@
-"""Drive the rules over sources, files, and directory trees."""
+"""Drive the rules over sources, files, and directory trees.
+
+Two passes (see ``docs/STATIC_ANALYSIS.md``): the per-file pass walks
+each module once with the RL001–RL008/RL011 rules; the cross-file pass
+builds (or reloads) the :class:`~repro.lint.project.ProjectIndex` over
+*every* requested file and runs the RL009/RL010/RL012 and transitive
+RL001/RL007 checks against it.  ``--changed`` restricts per-file linting
+and finding *reporting* to the changed files, but the index always spans
+the full file set — cross-file contracts cannot be checked on a slice.
+"""
 
 from __future__ import annotations
 
 import ast
+import json
 import os
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.lint.core import Finding, LintContext, LintVisitor, Rule
+from repro.lint.project import ProjectIndex
 from repro.lint.rules import ALL_RULES
+from repro.lint.xrules import run_cross_rules
 
 
 def lint_source(
@@ -64,17 +76,63 @@ def iter_python_files(paths: Iterable[str]) -> List[str]:
     return sorted(dict.fromkeys(found))
 
 
+def load_api_baseline(path: str) -> Dict[str, object]:
+    """Load a committed ``api_baseline.json``.
+
+    Raises:
+        ValueError: if the payload is not a version-1 surface document.
+    """
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("version") != 1:
+        raise ValueError(
+            f"{path} is not a version-1 API baseline; regenerate it with "
+            "`repro lint --update-api`"
+        )
+    return payload
+
+
+#: Default location of the committed surface lock, resolved from the cwd
+#: (the repo root in CI and in the pre-commit hook).
+DEFAULT_API_BASELINE = "api_baseline.json"
+
+
 def lint_paths(
-    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+    paths: Iterable[str],
+    rules: Optional[Sequence[Rule]] = None,
+    *,
+    cross: Optional[bool] = None,
+    index_cache: Optional[str] = None,
+    api_baseline: Optional[str] = "auto",
+    changed_only: Optional[Iterable[str]] = None,
 ) -> List[Finding]:
     """Lint every ``.py`` file under the given files/directories.
 
     A file that fails to parse contributes a single synthetic ``RL000``
     finding rather than aborting the run, so one broken file cannot hide
     violations elsewhere.
+
+    ``cross`` enables the index-backed pass; it defaults to on exactly
+    when ``rules`` is not given, so callers that pin an explicit rule
+    list (the fixtures) keep the old single-pass behaviour.  With
+    ``api_baseline="auto"`` the RL012 diff runs iff
+    ``api_baseline.json`` exists in the working directory; pass a path
+    to require it, or ``None`` to skip RL012.  ``changed_only`` (an
+    iterable of paths) restricts the per-file pass and the reported
+    cross findings to those files — except RL012 findings, which are
+    kept regardless because a surface break elsewhere must still block.
     """
+    if cross is None:
+        cross = rules is None
+    all_files = iter_python_files(paths)
+    changed: Optional[Set[str]] = None
+    if changed_only is not None:
+        changed = {os.path.normpath(p) for p in changed_only}
+
     findings: List[Finding] = []
-    for path in iter_python_files(paths):
+    for path in all_files:
+        if changed is not None and os.path.normpath(path) not in changed:
+            continue
         try:
             findings.extend(lint_file(path, rules=rules))
         except SyntaxError as exc:
@@ -88,5 +146,24 @@ def lint_paths(
                     hint="fix the syntax error first",
                 )
             )
+
+    if cross:
+        index = ProjectIndex.build(all_files, cache_path=index_cache)
+        baseline_doc = None
+        if api_baseline == "auto":
+            if os.path.exists(DEFAULT_API_BASELINE):
+                baseline_doc = load_api_baseline(DEFAULT_API_BASELINE)
+        elif api_baseline is not None:
+            baseline_doc = load_api_baseline(api_baseline)
+        cross_findings = run_cross_rules(index, api_baseline=baseline_doc)
+        if changed is not None:
+            cross_findings = [
+                finding
+                for finding in cross_findings
+                if finding.rule == "RL012"
+                or os.path.normpath(finding.path) in changed
+            ]
+        findings.extend(cross_findings)
+
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

@@ -131,8 +131,18 @@ class Controller:
             fanout.setdefault(parent, []).append(child)
             upstream.setdefault(child, parent)
 
+        # First-appearance order of the routing edges, deduplicated: the
+        # rule list (and the switch a capacity error reports) must not
+        # depend on salted set-iteration order across worker processes.
+        switches = list(
+            dict.fromkeys(
+                [parent for parent, _ in routing_edges]
+                + [child for _, child in routing_edges]
+            )
+        )
+
         if self._table_capacity is not None:
-            for switch in set(fanout) | set(upstream):
+            for switch in switches:
                 if self._table_size.get(switch, 0) >= self._table_capacity:
                     raise TableCapacityExceededError(
                         switch, self._table_capacity
@@ -140,7 +150,6 @@ class Controller:
 
         record = InstalledRequest(request_id=request_id)
         server_set = set(servers)
-        switches = set(fanout) | set(upstream)
         for switch in switches:
             rule = FlowRule(
                 switch=switch,

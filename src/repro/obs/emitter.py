@@ -282,6 +282,10 @@ class SnapshotEmitter:
         return payload
 
     # -- checkpoint support ----------------------------------------------
+    # _ring (flight recorder), _last_flush_at (wall-clock anchor, re-armed
+    # from "now" on restore) and closed are deliberately not checkpointed;
+    # see the docstring's delta contract for why resume stays bit-exact.
+    # repro-lint: disable=RL009 — justified above
     def state(self) -> Dict[str, Any]:
         """JSON-serializable emitter state for checkpoint/restore.
 

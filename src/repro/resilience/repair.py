@@ -329,18 +329,19 @@ class SubtreeGraft(RepairStrategy):
         # exactly where they are.
         old_usage = tree.edge_usage()
         new_usage = new_tree.edge_usage()
-        txn = AllocationTransaction(network)
-        try:
-            for key in sorted(new_usage, key=repr):
-                delta = new_usage[key] - old_usage.get(key, 0)
-                if delta > 0:
-                    txn.allocate_bandwidth(
-                        key[0], key[1], delta * request.bandwidth
-                    )
-        except CapacityExceededError:
-            txn.rollback()
-            return None
-        txn.commit()
+        # `with` so any exception before commit() — a typed solver error,
+        # not just the capacity check — rolls the delta back (RL011)
+        with AllocationTransaction(network) as txn:
+            try:
+                for key in sorted(new_usage, key=repr):
+                    delta = new_usage[key] - old_usage.get(key, 0)
+                    if delta > 0:
+                        txn.allocate_bandwidth(
+                            key[0], key[1], delta * request.bandwidth
+                        )
+            except CapacityExceededError:
+                return None
+            txn.commit()
 
         # The graft is now booked.  Release the failed/stranded edges' usage
         # and transfer ownership: one adopted transaction holds exactly the

@@ -1,0 +1,52 @@
+"""Regression tests for the atomic admission path (``try_allocate``)."""
+
+import pytest
+
+from repro.core import appro_multi_cap
+from repro.core.admission import try_allocate
+from repro.network import AllocationTransaction
+
+
+def residual_snapshot(network):
+    links = {
+        (u, v): network.link(u, v).residual
+        for u, v, _ in network.graph.edges()
+    }
+    servers = {
+        node: network.server(node).residual
+        for node in network.server_nodes
+    }
+    return links, servers
+
+
+class TestExceptionSafety:
+    def test_unexpected_error_rolls_back_and_propagates(
+        self, small_network, request_batch, monkeypatch
+    ):
+        """RL011 regression: the pre-`with` manual pattern only rolled
+        back on CapacityExceededError — any other exception raised after
+        the bandwidth loop leaked the partial reservation forever."""
+        tree = appro_multi_cap(
+            small_network, request_batch[0], max_servers=2
+        )
+        before = residual_snapshot(small_network)
+
+        def boom(self, server, demand):
+            raise RuntimeError("solver bug mid-allocation")
+
+        monkeypatch.setattr(AllocationTransaction, "allocate_compute", boom)
+        with pytest.raises(RuntimeError, match="mid-allocation"):
+            try_allocate(small_network, tree)
+        # every bandwidth reservation made before the failure is returned
+        assert residual_snapshot(small_network) == before
+
+    def test_success_path_still_commits(self, small_network, request_batch):
+        tree = appro_multi_cap(
+            small_network, request_batch[0], max_servers=2
+        )
+        before = residual_snapshot(small_network)
+        txn = try_allocate(small_network, tree)
+        assert txn is not None
+        assert residual_snapshot(small_network) != before
+        txn.release_all()
+        assert residual_snapshot(small_network) == before

@@ -66,6 +66,18 @@ class TestSlaRouting:
         assert solution.tree.servers == ("v_fast",)
         assert solution.worst_delay_ms == pytest.approx(4.0)
 
+    def test_distribution_edges_are_order_deterministic(self, sla_network):
+        """RL010 regression: the branch-union edge set used to be summed
+        and tupled in salted set order, so costs (float addition is
+        order-sensitive) and the installed edge tuple could differ
+        between worker processes."""
+        request = MulticastRequest.create(
+            1, "s", ["d", "v_fast"], 100.0, simple_chain()
+        )
+        solution = delay_aware_multicast(sla_network, request, 100.0)
+        edges = solution.tree.distribution_edges
+        assert list(edges) == sorted(edges)
+
     def test_impossible_sla_raises(self, sla_network):
         request = MulticastRequest.create(1, "s", ["d"], 100.0, simple_chain())
         with pytest.raises(InfeasibleRequestError):

@@ -1,0 +1,176 @@
+"""CLI round-trips for the cross-file pass: --changed, --update-api,
+--api-baseline, and the project-index cache."""
+
+import json
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+ENGINE = textwrap.dedent(
+    """
+    class StreamEngine:
+        def __init__(self, network):
+            self.network = network
+
+    def run_stream(config):
+        pass
+    """
+)
+INIT = textwrap.dedent(
+    """
+    from repro.stream.engine import StreamEngine, run_stream
+    __all__ = ["StreamEngine", "run_stream"]
+    """
+)
+
+
+@pytest.fixture
+def stream_tree(tmp_path, monkeypatch):
+    """A tmp checkout holding a minimal repro.stream package, cwd'd into."""
+    package = tmp_path / "src" / "repro" / "stream"
+    package.mkdir(parents=True)
+    (package / "__init__.py").write_text(INIT)
+    (package / "engine.py").write_text(ENGINE)
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestApiBaselineCli:
+    def test_update_then_check_then_break(self, stream_tree, capsys):
+        assert main(["lint", "src", "--update-api"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote api_baseline.json" in out
+        baseline = json.loads(
+            (stream_tree / "api_baseline.json").read_text()
+        )
+        assert "repro.stream" in baseline["packages"]
+
+        # clean against the fresh baseline (picked up automatically)
+        assert main(["lint", "src"]) == 0
+        capsys.readouterr()
+
+        # an unexported public function breaks the lock
+        engine = stream_tree / "src" / "repro" / "stream" / "engine.py"
+        engine.write_text(ENGINE + "\ndef sneaky():\n    pass\n")
+        assert main(["lint", "src"]) == 1
+        out = capsys.readouterr().out
+        assert "RL012" in out and "sneaky" in out
+
+        # rebaselining adopts the change
+        assert main(["lint", "src", "--update-api"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "src"]) == 0
+
+    def test_deleting_an_export_trips(self, stream_tree, capsys):
+        assert main(["lint", "src", "--update-api"]) == 0
+        init = stream_tree / "src" / "repro" / "stream" / "__init__.py"
+        init.write_text(
+            "from repro.stream.engine import StreamEngine\n"
+            '__all__ = ["StreamEngine"]\n'
+        )
+        assert main(["lint", "src"]) == 1
+        out = capsys.readouterr().out
+        assert "no longer exports 'run_stream'" in out
+
+    def test_explicit_missing_baseline_is_a_usage_error(
+        self, stream_tree, capsys
+    ):
+        assert main(["lint", "src", "--api-baseline", "nope.json"]) == 2
+        assert "--update-api" in capsys.readouterr().err
+
+    def test_malformed_baseline_is_a_usage_error(self, stream_tree, capsys):
+        (stream_tree / "api_baseline.json").write_text('{"version": 99}')
+        assert main(["lint", "src"]) == 2
+        assert "version-1" in capsys.readouterr().err
+
+
+class TestIndexCacheCli:
+    def test_cache_file_is_written_and_reused(self, stream_tree, capsys):
+        cache = stream_tree / "cache.json"
+        assert main(["lint", "src", "--index-cache", str(cache)]) == 0
+        assert cache.exists()
+        payload = json.loads(cache.read_text())
+        assert "src/repro/stream/engine.py".replace(
+            "/", "/"
+        ) in {k.replace("\\", "/") for k in payload["modules"]}
+        assert main(["lint", "src", "--index-cache", str(cache)]) == 0
+
+    def test_no_index_cache_touches_nothing(self, stream_tree):
+        assert main(["lint", "src", "--no-index-cache"]) == 0
+        assert not (stream_tree / ".repro_lint_cache.json").exists()
+
+
+def git(*argv, cwd):
+    subprocess.run(
+        ["git", *argv],
+        cwd=cwd,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@example.invalid",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@example.invalid",
+            "HOME": str(cwd),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+class TestChangedMode:
+    @pytest.fixture
+    def committed_tree(self, stream_tree):
+        git("init", "-q", cwd=stream_tree)
+        git("add", "-A", cwd=stream_tree)
+        git("commit", "-qm", "seed", cwd=stream_tree)
+        return stream_tree
+
+    def test_no_changes_exits_zero(self, committed_tree, capsys):
+        assert main(["lint", "src", "--changed"]) == 0
+        assert "no changed files" in capsys.readouterr().out
+
+    def test_only_changed_files_report_per_file_findings(
+        self, committed_tree, capsys
+    ):
+        package = committed_tree / "src" / "repro" / "stream"
+        # a per-file violation in a *committed* file stays invisible …
+        (package / "other.py").write_text(
+            "import random\n\ndef f():\n    return random.random()\n"
+        )
+        git("add", "-A", cwd=committed_tree)
+        git("commit", "-qm", "dirty file", cwd=committed_tree)
+        assert main(["lint", "src", "--changed", "HEAD"]) == 0
+        capsys.readouterr()
+        # … until it is the one that changed
+        (package / "other.py").write_text(
+            "import random\n\ndef f():\n    return random.random() + 1\n"
+        )
+        assert main(["lint", "src", "--changed", "HEAD"]) == 1
+        out = capsys.readouterr().out
+        assert "RL003" in out and "other.py" in out
+
+    def test_untracked_files_are_linted(self, committed_tree, capsys):
+        package = committed_tree / "src" / "repro" / "stream"
+        (package / "fresh.py").write_text(
+            "import random\n\ndef f():\n    return random.random()\n"
+        )
+        assert main(["lint", "src", "--changed"]) == 1
+        assert "fresh.py" in capsys.readouterr().out
+
+    def test_rl012_findings_survive_the_changed_filter(
+        self, committed_tree, capsys
+    ):
+        assert main(["lint", "src", "--update-api"]) == 0
+        capsys.readouterr()
+        engine = committed_tree / "src" / "repro" / "stream" / "engine.py"
+        # the *engine* changes, but the finding lands on __init__.py —
+        # RL012 findings must not be filtered away with it
+        engine.write_text(ENGINE.replace(
+            "def run_stream(config):", "def run_stream(config, extra):"
+        ))
+        assert main(["lint", "src", "--changed", "HEAD"]) == 1
+        out = capsys.readouterr().out
+        assert "RL012" in out and "run_stream" in out

@@ -506,6 +506,81 @@ class TestRL008BroadExcept:
         assert lint(snippet, "src/repro/analysis/x.py") == []
 
 
+class TestRL011TransactionWithoutExitPath:
+    TRIP = """
+        from repro.network.allocation import AllocationTransaction
+
+        def reserve(network, edges, bw):
+            txn = AllocationTransaction(network)
+            for u, v in edges:
+                txn.allocate_bandwidth(u, v, bw)
+            txn.commit()
+            return txn
+    """
+
+    def test_manual_pattern_trips(self):
+        findings = lint(self.TRIP, "src/repro/core/foo.py")
+        assert rule_ids(findings) == ["RL011"]
+        assert "leaks the reservation" in findings[0].message
+
+    def test_with_form_passes(self):
+        clean = """
+            from repro.network.allocation import AllocationTransaction
+
+            def reserve(network, edges, bw):
+                with AllocationTransaction(network) as txn:
+                    for u, v in edges:
+                        txn.allocate_bandwidth(u, v, bw)
+                    txn.commit()
+                return txn
+        """
+        assert lint(clean, "src/repro/core/foo.py") == []
+
+    def test_try_finally_form_passes(self):
+        clean = """
+            from repro.network.allocation import AllocationTransaction
+
+            def reserve(network, edges, bw):
+                done = False
+                txn = AllocationTransaction(network)
+                try:
+                    for u, v in edges:
+                        txn.allocate_bandwidth(u, v, bw)
+                    txn.commit()
+                    done = True
+                finally:
+                    if not done:
+                        txn.rollback()
+                return txn
+        """
+        assert lint(clean, "src/repro/core/foo.py") == []
+
+    def test_reexport_form_trips(self):
+        via_reexport = """
+            from repro.network import AllocationTransaction
+
+            def reserve(network):
+                txn = AllocationTransaction(network)
+                txn.commit()
+                return txn
+        """
+        assert rule_ids(
+            lint(via_reexport, "src/repro/resilience/foo.py")
+        ) == ["RL011"]
+
+    def test_adopt_is_exempt(self):
+        clean = """
+            from repro.network.allocation import AllocationTransaction
+
+            def transfer(network, ops):
+                return AllocationTransaction.adopt(network, bandwidth_ops=ops)
+        """
+        assert lint(clean, "src/repro/resilience/foo.py") == []
+
+    def test_allocation_module_itself_is_exempt(self):
+        assert lint(self.TRIP, "src/repro/network/allocation.py") == []
+
+
 class TestFrameworkBasics:
     def test_every_rule_has_metadata(self):
         seen = set()

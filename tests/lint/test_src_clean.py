@@ -30,7 +30,7 @@ def test_suppression_census():
     for path in iter_python_files([SRC]):
         with open(path, encoding="utf-8") as handle:
             pragmas += handle.read().count("repro-lint: disable")
-    # Today: 27 working pragmas (RL001/RL004 line-level — including the two
+    # Today: 30 working pragmas (RL001/RL004 line-level — including the two
     # RL001 ones on metric_closure's per-backend one-shot searches, the
     # RL001/RL004 ones on the CSR/appro benchmarks' raw-engine sweeps and
     # bit-identity checks, and the five RL001 ones on the reference/oracle
@@ -38,9 +38,13 @@ def test_suppression_census():
     # (exact, baselines, delay_aware) — plus the four RL007 file-level ones
     # in the simulation engine/trace, obs/emitter (whose every_seconds
     # flush trigger is wall time by contract), and the stream scale
-    # benchmark, which reports measured throughput as a result metric) and
-    # 4 syntax examples inside the lint package's own docstrings.
-    assert pragmas <= 32, (
+    # benchmark, which reports measured throughput as a result metric;
+    # the cross-file pass adds one RL009 on SnapshotEmitter.state(), whose
+    # flight-recorder ring and wall-clock anchor are deliberately not
+    # checkpointed, and one RL010 on pseudo_tree's order-independent
+    # reachability flood) and 6 syntax examples inside the lint package's
+    # own docstrings.
+    assert pragmas <= 36, (
         f"{pragmas} suppression pragmas in src/ — if you added one with a "
         "written justification, raise this ceiling in the same commit"
     )

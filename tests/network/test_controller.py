@@ -33,6 +33,31 @@ class TestInstall:
         assert set(rules["a"].out_ports) == {"v", "d1", "d2"}
         assert rules["d1"].out_ports == ()
 
+    def test_rule_order_is_first_appearance_of_routing_edges(
+        self, controller
+    ):
+        """Rules install in a process-independent order (RL010 regression).
+
+        The switch sequence used to come from ``set(fanout) |
+        set(upstream)`` — salted hash order, so two workers could install
+        (and report capacity errors for) the same tree differently.
+        """
+        record = controller.install_tree(1, HOPS, servers=["v"])
+        assert [rule.switch for rule in record.rules] == [
+            "s", "a", "v", "d1", "d2",
+        ]
+
+    def test_capacity_error_reports_the_first_offending_switch(self):
+        from repro.network.controller import TableCapacityExceededError
+
+        full = Controller(table_capacity=1)
+        full.install_tree(1, HOPS, servers=["v"])  # every table now full
+        with pytest.raises(TableCapacityExceededError) as excinfo:
+            full.install_tree(2, HOPS, servers=["v"])
+        # deterministically the first switch in routing-edge order, not
+        # whichever the per-process hash seed puts first
+        assert excinfo.value.switch == "s"
+
     def test_double_install_raises(self, controller):
         controller.install_tree(1, HOPS, servers=["v"])
         with pytest.raises(SimulationError):
